@@ -1,0 +1,55 @@
+#ifndef QUASII_COMMON_DATASET_H_
+#define QUASII_COMMON_DATASET_H_
+
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// A dataset is simply the vector of object MBBs; an object's id is its
+/// position in this vector. All indexes take a `const Dataset&` and never
+/// mutate it — incremental indexes copy it into their own reorganizable
+/// entry array.
+template <int D>
+using Dataset = std::vector<Box<D>>;
+
+using Dataset2 = Dataset<2>;
+using Dataset3 = Dataset<3>;
+
+/// Builds the `Entry` array (box + id) an incremental index reorganizes.
+template <int D>
+std::vector<Entry<D>> MakeEntries(const Dataset<D>& data) {
+  std::vector<Entry<D>> entries;
+  entries.reserve(data.size());
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    entries.push_back(Entry<D>{data[i], i});
+  }
+  return entries;
+}
+
+/// The MBB of the whole dataset (the "universe" as seen by the indexes).
+template <int D>
+Box<D> BoundingBoxOf(const Dataset<D>& data) {
+  Box<D> mbb = Box<D>::Empty();
+  for (const Box<D>& b : data) mbb.ExpandToInclude(b);
+  return mbb;
+}
+
+/// Per-dimension maximum object extent, used by every index that relies on
+/// the query-extension technique [Stefanakis et al., 40].
+template <int D>
+Point<D> MaxExtents(const Dataset<D>& data) {
+  Point<D> ext{};
+  for (const Box<D>& b : data) {
+    for (int d = 0; d < D; ++d) {
+      ext[d] = std::max(ext[d], b.Extent(d));
+    }
+  }
+  return ext;
+}
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_DATASET_H_

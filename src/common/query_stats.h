@@ -1,0 +1,59 @@
+#ifndef QUASII_COMMON_QUERY_STATS_H_
+#define QUASII_COMMON_QUERY_STATS_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace quasii {
+
+/// Work counters accumulated while executing queries. Every index maintains
+/// one instance; the experiment harness snapshots it per query to reproduce
+/// the paper's "objects considered for intersection" analyses (Section 6.2).
+struct QueryStats {
+  /// Boxes tested for intersection against the query (candidate objects).
+  std::uint64_t objects_tested = 0;
+  /// Index partitions (cells, nodes, slices) visited.
+  std::uint64_t partitions_visited = 0;
+  /// Reorganization passes over some array segment (cracks / splits).
+  std::uint64_t cracks = 0;
+  /// Entries relocated while reorganizing data (incremental indexes).
+  std::uint64_t objects_moved = 0;
+  /// Candidates discarded by de-duplication (replication-based indexes).
+  std::uint64_t duplicates_removed = 0;
+  /// 1d intervals a query decomposed into (SFC-based indexes).
+  std::uint64_t intervals = 0;
+
+  void Reset() { *this = QueryStats{}; }
+
+  QueryStats& operator+=(const QueryStats& o) {
+    objects_tested += o.objects_tested;
+    partitions_visited += o.partitions_visited;
+    cracks += o.cracks;
+    objects_moved += o.objects_moved;
+    duplicates_removed += o.duplicates_removed;
+    intervals += o.intervals;
+    return *this;
+  }
+
+  friend QueryStats operator-(QueryStats a, const QueryStats& b) {
+    a.objects_tested -= b.objects_tested;
+    a.partitions_visited -= b.partitions_visited;
+    a.cracks -= b.cracks;
+    a.objects_moved -= b.objects_moved;
+    a.duplicates_removed -= b.duplicates_removed;
+    a.intervals -= b.intervals;
+    return a;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const QueryStats& s) {
+  return os << "{tested=" << s.objects_tested
+            << " visited=" << s.partitions_visited << " cracks=" << s.cracks
+            << " moved=" << s.objects_moved
+            << " dedup=" << s.duplicates_removed
+            << " intervals=" << s.intervals << '}';
+}
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_QUERY_STATS_H_

@@ -1,0 +1,58 @@
+#ifndef QUASII_COMMON_SPATIAL_INDEX_H_
+#define QUASII_COMMON_SPATIAL_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// An object as stored inside reorganizable index arrays: its MBB plus the
+/// identifier pointing back into the original dataset.
+template <int D>
+struct Entry {
+  Box<D> box;
+  ObjectId id = 0;
+};
+
+using Entry2 = Entry<2>;
+using Entry3 = Entry<3>;
+
+/// Common interface of every index in the evaluation (Section 6.1 list:
+/// Scan, SFC, SFCracker, Grid, Mosaic, R-Tree, QUASII).
+///
+/// Usage protocol:
+///   1. construct with the dataset (all raw data is available up front —
+///      the paper's static setting, Section 2);
+///   2. call `Build()` once — static indexes pay their pre-processing cost
+///      here, incremental ones return immediately;
+///   3. call `Query()` repeatedly. Incremental indexes reorganize internal
+///      state as a side effect, which is why `Query` is non-const.
+template <int D>
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Human-readable name used by the experiment harness ("R-Tree", ...).
+  virtual std::string_view name() const = 0;
+
+  /// One-off pre-processing. No-op for incremental indexes.
+  virtual void Build() {}
+
+  /// Appends to `*result` the ids of all objects whose MBB intersects `q`.
+  /// Result order is unspecified; ids are unique.
+  virtual void Query(const Box<D>& q, std::vector<ObjectId>* result) = 0;
+
+  /// Cumulative work counters since construction.
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  QueryStats stats_;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_SPATIAL_INDEX_H_

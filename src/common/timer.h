@@ -1,0 +1,31 @@
+#ifndef QUASII_COMMON_TIMER_H_
+#define QUASII_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace quasii {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last `Reset()`.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last `Reset()`.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_TIMER_H_

@@ -1,0 +1,127 @@
+#include "datagen/neuro.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace quasii::datagen {
+namespace {
+
+/// Clamps `v` into `[0, size]`.
+Scalar ClampTo(Scalar v, Scalar size) {
+  return std::min(std::max(v, Scalar{0}), size);
+}
+
+/// A random unit direction in 3d.
+Point3 RandomDirection(Rng* rng) {
+  // Rejection-free: Gaussian components normalized.
+  Point3 dir;
+  double norm = 0;
+  do {
+    norm = 0;
+    for (int d = 0; d < 3; ++d) {
+      dir[d] = static_cast<Scalar>(rng->Gaussian(0.0, 1.0));
+      norm += static_cast<double>(dir[d]) * static_cast<double>(dir[d]);
+    }
+  } while (norm < 1e-12);
+  const Scalar inv = static_cast<Scalar>(1.0 / std::sqrt(norm));
+  for (int d = 0; d < 3; ++d) dir[d] *= inv;
+  return dir;
+}
+
+}  // namespace
+
+Dataset3 MakeNeuroDataset(const NeuroDatasetParams& params) {
+  Rng rng(params.seed);
+  Dataset3 data;
+  data.reserve(params.count);
+
+  const Scalar size = params.universe_size;
+  const double sigma = params.column_sigma * static_cast<double>(size);
+
+  // Column centres, kept away from the boundary so clusters stay inside.
+  std::vector<Point3> columns;
+  columns.reserve(static_cast<std::size_t>(params.columns));
+  for (int c = 0; c < params.columns; ++c) {
+    Point3 centre;
+    for (int d = 0; d < 3; ++d) {
+      centre[d] = rng.UniformScalar(Scalar{0.1} * size, Scalar{0.9} * size);
+    }
+    columns.push_back(centre);
+  }
+
+  while (data.size() < params.count) {
+    // Soma position: Gaussian around a random column centre.
+    const Point3& column =
+        columns[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(columns.size()) - 1))];
+    Point3 soma;
+    for (int d = 0; d < 3; ++d) {
+      soma[d] = ClampTo(
+          static_cast<Scalar>(rng.Gaussian(static_cast<double>(column[d]),
+                                           sigma)),
+          size);
+    }
+
+    for (int b = 0; b < params.branches_per_neuron &&
+                    data.size() < params.count;
+         ++b) {
+      Point3 pos = soma;
+      Point3 dir = RandomDirection(&rng);
+      for (int s = 0; s < params.segments_per_branch &&
+                      data.size() < params.count;
+           ++s) {
+        // Perturb the growth direction a little each step (tortuosity).
+        Point3 perturbed = dir;
+        for (int d = 0; d < 3; ++d) {
+          perturbed[d] += static_cast<Scalar>(rng.Gaussian(0.0, 0.3));
+        }
+        double norm = 0;
+        for (int d = 0; d < 3; ++d) {
+          norm += static_cast<double>(perturbed[d]) *
+                  static_cast<double>(perturbed[d]);
+        }
+        if (norm > 1e-12) {
+          const Scalar inv = static_cast<Scalar>(1.0 / std::sqrt(norm));
+          for (int d = 0; d < 3; ++d) dir[d] = perturbed[d] * inv;
+        }
+
+        const Scalar len = static_cast<Scalar>(
+            std::abs(rng.Gaussian(static_cast<double>(params.segment_length),
+                                  0.4 * static_cast<double>(
+                                            params.segment_length))) +
+            0.1);
+        Point3 next;
+        for (int d = 0; d < 3; ++d) {
+          next[d] = ClampTo(pos[d] + dir[d] * len, size);
+        }
+
+        // Segment MBB = box around the segment, inflated by the radius.
+        Box3 seg;
+        seg.ExpandToInclude(pos);
+        seg.ExpandToInclude(next);
+        seg = seg.Inflated(params.segment_radius);
+        for (int d = 0; d < 3; ++d) {
+          seg.lo[d] = ClampTo(seg.lo[d], size);
+          seg.hi[d] = ClampTo(seg.hi[d], size);
+        }
+        data.push_back(seg);
+        pos = next;
+      }
+    }
+  }
+  return data;
+}
+
+Box3 NeuroUniverse(const NeuroDatasetParams& params) {
+  Box3 u;
+  for (int d = 0; d < 3; ++d) {
+    u.lo[d] = 0;
+    u.hi[d] = params.universe_size;
+  }
+  return u;
+}
+
+}  // namespace quasii::datagen

@@ -1,0 +1,52 @@
+#ifndef QUASII_DATAGEN_NEURO_H_
+#define QUASII_DATAGEN_NEURO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "geometry/box.h"
+
+namespace quasii::datagen {
+
+/// Parameters of the neuroscience-like dataset.
+///
+/// The paper evaluates on a rat-brain model: 450M cylinders in a ~285 µm³
+/// neocortical volume (Human Brain Project data we cannot redistribute).
+/// This generator substitutes it with synthetic neuron morphologies:
+/// branching 3d random walks whose segments become small, elongated MBBs.
+/// It reproduces the properties the experiments depend on — volumetric
+/// objects much smaller than the universe, heavy multi-scale clustering
+/// (neurons cluster into "columns", segments cluster along branches) and
+/// high local density variance — which is what makes the Grid hard to
+/// configure (Fig. 6b) and rewards data-oriented partitioning (Fig. 7c).
+struct NeuroDatasetParams {
+  /// Exact number of segment MBBs generated.
+  std::size_t count = 1 << 20;
+  /// Cube universe side, arbitrary units (think micrometres).
+  Scalar universe_size = 1000;
+  /// Number of "cortical column" clusters neurons group into.
+  int columns = 24;
+  /// Gaussian spread of somata around their column centre, as a fraction
+  /// of the universe side.
+  double column_sigma = 0.03;
+  /// Branches grown per neuron.
+  int branches_per_neuron = 6;
+  /// Segments per branch (branch length of the random walk).
+  int segments_per_branch = 40;
+  /// Mean segment length; actual lengths are log-normal-ish around this.
+  Scalar segment_length = 3.0;
+  /// Cylinder radius: each segment MBB is inflated by this much.
+  Scalar segment_radius = 0.3;
+  std::uint64_t seed = 2;
+};
+
+/// Generates the neuroscience-like clustered dataset (paper substitute).
+Dataset3 MakeNeuroDataset(const NeuroDatasetParams& params);
+
+/// The universe box of a `MakeNeuroDataset` result.
+Box3 NeuroUniverse(const NeuroDatasetParams& params);
+
+}  // namespace quasii::datagen
+
+#endif  // QUASII_DATAGEN_NEURO_H_

@@ -1,0 +1,132 @@
+#ifndef QUASII_DATAGEN_QUERIES_H_
+#define QUASII_DATAGEN_QUERIES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "geometry/box.h"
+
+namespace quasii::datagen {
+
+/// Side length of a cubic query covering fraction `selectivity` of the
+/// universe volume (the paper expresses selectivity as qvol, a percentage of
+/// the queried volume; here it is a fraction, i.e. 10^-2 % == 1e-4).
+template <int D>
+Scalar QuerySideFor(const Box<D>& universe, double selectivity) {
+  return static_cast<Scalar>(
+      std::pow(selectivity * universe.Volume(), 1.0 / D));
+}
+
+/// A cubic query box centred at `c`, clamped into the universe.
+template <int D>
+Box<D> QueryAround(const Box<D>& universe, const Point<D>& c, Scalar side) {
+  Box<D> q;
+  for (int d = 0; d < D; ++d) {
+    Scalar lo = c[d] - side / 2;
+    lo = std::max(lo, universe.lo[d]);
+    lo = std::min(lo, universe.hi[d] - side);
+    q.lo[d] = lo;
+    q.hi[d] = lo + side;
+  }
+  return q;
+}
+
+/// Parameters of the paper's clustered workload (Section 6.1): several query
+/// clusters, query centres Gaussian-distributed around each cluster centre,
+/// all queries of one fixed volume.
+struct ClusteredQueryParams {
+  int clusters = 5;
+  int queries_per_cluster = 100;
+  /// Fraction of universe volume per query (paper default: 10^-2 % = 1e-4).
+  double selectivity = 1e-4;
+  /// Gaussian sigma around a cluster centre, as a fraction of the universe
+  /// extent per dimension.
+  double sigma_fraction = 0.02;
+  std::uint64_t seed = 3;
+};
+
+/// Clustered workload with cluster centres drawn from `anchors` (so clusters
+/// land on populated regions — the paper's scientists inspect regions of the
+/// model, not empty space). With no anchors, cluster centres are uniform.
+template <int D>
+std::vector<Box<D>> MakeClusteredQueries(const Box<D>& universe,
+                                         const std::vector<Point<D>>& anchors,
+                                         const ClusteredQueryParams& params) {
+  Rng rng(params.seed);
+  const Scalar side = QuerySideFor(universe, params.selectivity);
+  std::vector<Box<D>> queries;
+  queries.reserve(static_cast<std::size_t>(params.clusters) *
+                  static_cast<std::size_t>(params.queries_per_cluster));
+  for (int c = 0; c < params.clusters; ++c) {
+    Point<D> centre;
+    if (!anchors.empty()) {
+      centre = anchors[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(anchors.size()) - 1))];
+    } else {
+      for (int d = 0; d < D; ++d) {
+        centre[d] = rng.UniformScalar(universe.lo[d], universe.hi[d]);
+      }
+    }
+    for (int i = 0; i < params.queries_per_cluster; ++i) {
+      Point<D> qc;
+      for (int d = 0; d < D; ++d) {
+        const double sigma =
+            params.sigma_fraction * static_cast<double>(universe.Extent(d));
+        qc[d] = static_cast<Scalar>(
+            rng.Gaussian(static_cast<double>(centre[d]), sigma));
+      }
+      queries.push_back(QueryAround(universe, qc, side));
+    }
+  }
+  return queries;
+}
+
+/// Convenience overload: anchors are the centres of random dataset objects.
+template <int D>
+std::vector<Box<D>> MakeClusteredQueries(const Box<D>& universe,
+                                         const Dataset<D>& data,
+                                         const ClusteredQueryParams& params) {
+  Rng rng(params.seed ^ 0x9E3779B97F4A7C15ull);
+  std::vector<Point<D>> anchors;
+  const int want = std::max(params.clusters * 4, 64);
+  for (int i = 0; i < want && !data.empty(); ++i) {
+    anchors.push_back(
+        data[static_cast<std::size_t>(rng.UniformInt(
+                 0, static_cast<std::int64_t>(data.size()) - 1))]
+            .Center());
+  }
+  return MakeClusteredQueries(universe, anchors, params);
+}
+
+/// Parameters of the uniform workload (Section 6.6).
+struct UniformQueryParams {
+  int count = 1000;
+  /// Fraction of universe volume per query (paper: 0.1% = 1e-3).
+  double selectivity = 1e-3;
+  std::uint64_t seed = 4;
+};
+
+/// Uniformly distributed queries of one fixed volume.
+template <int D>
+std::vector<Box<D>> MakeUniformQueries(const Box<D>& universe,
+                                       const UniformQueryParams& params) {
+  Rng rng(params.seed);
+  const Scalar side = QuerySideFor(universe, params.selectivity);
+  std::vector<Box<D>> queries;
+  queries.reserve(static_cast<std::size_t>(params.count));
+  for (int i = 0; i < params.count; ++i) {
+    Point<D> c;
+    for (int d = 0; d < D; ++d) {
+      c[d] = rng.UniformScalar(universe.lo[d], universe.hi[d]);
+    }
+    queries.push_back(QueryAround(universe, c, side));
+  }
+  return queries;
+}
+
+}  // namespace quasii::datagen
+
+#endif  // QUASII_DATAGEN_QUERIES_H_

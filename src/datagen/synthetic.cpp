@@ -1,0 +1,36 @@
+#include "datagen/synthetic.h"
+
+namespace quasii::datagen {
+
+Dataset3 MakeUniformDataset(const UniformDatasetParams& params) {
+  Rng rng(params.seed);
+  Dataset3 data;
+  data.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    const bool large = rng.Bernoulli(params.large_fraction);
+    Box3 b;
+    for (int d = 0; d < 3; ++d) {
+      const Scalar side =
+          large ? rng.UniformScalar(params.large_side_min,
+                                    params.large_side_max)
+                : rng.UniformScalar(params.small_side_min,
+                                    params.small_side_max);
+      const Scalar lo = rng.UniformScalar(0, params.universe_size);
+      b.lo[d] = lo;
+      b.hi[d] = lo + side;
+    }
+    data.push_back(b);
+  }
+  return data;
+}
+
+Box3 UniformUniverse(const UniformDatasetParams& params) {
+  Box3 u;
+  for (int d = 0; d < 3; ++d) {
+    u.lo[d] = 0;
+    u.hi[d] = params.universe_size + params.large_side_max;
+  }
+  return u;
+}
+
+}  // namespace quasii::datagen

@@ -1,0 +1,58 @@
+#ifndef QUASII_DATAGEN_SYNTHETIC_H_
+#define QUASII_DATAGEN_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "geometry/box.h"
+
+namespace quasii::datagen {
+
+/// Parameters of the paper's synthetic dataset (Section 6.1): boxes in a
+/// 10 000-unit-per-dimension 3d universe; 99% of objects have sides drawn
+/// uniformly from [1, 10], 1% from [10, 1000]; positions are uniform.
+struct UniformDatasetParams {
+  std::size_t count = 1 << 20;
+  Scalar universe_size = 10000;
+  double large_fraction = 0.01;
+  Scalar small_side_min = 1;
+  Scalar small_side_max = 10;
+  Scalar large_side_min = 10;
+  Scalar large_side_max = 1000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the paper's uniform synthetic dataset.
+Dataset3 MakeUniformDataset(const UniformDatasetParams& params);
+
+/// The universe box of a `MakeUniformDataset` result (object MBBs may poke
+/// slightly past `universe_size`; indexes use `BoundingBoxOf` when they need
+/// the exact data MBB).
+Box3 UniformUniverse(const UniformDatasetParams& params);
+
+/// Dimension-generic box soup for tests: `n` boxes with uniform corners and
+/// sides in `[0, max_side]`, inside `universe`.
+template <int D>
+Dataset<D> MakeRandomBoxes(std::size_t n, const Box<D>& universe,
+                           Scalar max_side, Rng* rng) {
+  Dataset<D> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Box<D> b;
+    for (int d = 0; d < D; ++d) {
+      const Scalar side = rng->UniformScalar(0, max_side);
+      const Scalar lo = rng->UniformScalar(universe.lo[d],
+                                           universe.hi[d] - side);
+      b.lo[d] = lo;
+      b.hi[d] = lo + side;
+    }
+    data.push_back(b);
+  }
+  return data;
+}
+
+}  // namespace quasii::datagen
+
+#endif  // QUASII_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,169 @@
+#ifndef QUASII_GEOMETRY_BOX_H_
+#define QUASII_GEOMETRY_BOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geometry/point.h"
+
+namespace quasii {
+
+/// An axis-aligned D-dimensional (minimum bounding) box, `[lo, hi]` in every
+/// dimension. Intervals are closed: two boxes sharing only a face intersect,
+/// matching the paper's definition `b ∩ q ≠ ∅`.
+///
+/// A default-constructed box is *empty* (`lo = +inf`, `hi = -inf`), the
+/// identity for `ExpandToInclude`.
+template <int D>
+struct Box {
+  Point<D> lo;
+  Point<D> hi;
+
+  constexpr Box() {
+    for (int d = 0; d < D; ++d) {
+      lo[d] = std::numeric_limits<Scalar>::infinity();
+      hi[d] = -std::numeric_limits<Scalar>::infinity();
+    }
+  }
+  constexpr Box(const Point<D>& lower, const Point<D>& upper)
+      : lo(lower), hi(upper) {}
+
+  /// The empty box: identity element for `ExpandToInclude`.
+  static constexpr Box Empty() { return Box(); }
+
+  /// The box covering all of space (`-inf, +inf` in every dimension). Used
+  /// for "open-ended" bounds of not-yet-refined QUASII slices.
+  static constexpr Box Infinite() {
+    Box b;
+    for (int d = 0; d < D; ++d) {
+      b.lo[d] = -std::numeric_limits<Scalar>::infinity();
+      b.hi[d] = std::numeric_limits<Scalar>::infinity();
+    }
+    return b;
+  }
+
+  /// A cube with the given corner and side length.
+  static constexpr Box Cube(const Point<D>& lower, Scalar side) {
+    Box b;
+    b.lo = lower;
+    for (int d = 0; d < D; ++d) b.hi[d] = lower[d] + side;
+    return b;
+  }
+
+  /// True when the box contains no point (some `lo[d] > hi[d]`).
+  constexpr bool IsEmpty() const {
+    for (int d = 0; d < D; ++d) {
+      if (lo[d] > hi[d]) return true;
+    }
+    return false;
+  }
+
+  /// Closed-interval intersection test.
+  constexpr bool Intersects(const Box& o) const {
+    for (int d = 0; d < D; ++d) {
+      if (lo[d] > o.hi[d] || hi[d] < o.lo[d]) return false;
+    }
+    return true;
+  }
+
+  /// Intersection test restricted to one dimension.
+  constexpr bool IntersectsInDim(const Box& o, int d) const {
+    return lo[d] <= o.hi[d] && hi[d] >= o.lo[d];
+  }
+
+  /// True when `p` lies inside the box (boundaries included).
+  constexpr bool Contains(const Point<D>& p) const {
+    for (int d = 0; d < D; ++d) {
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  /// True when `o` lies entirely inside this box.
+  constexpr bool ContainsBox(const Box& o) const {
+    for (int d = 0; d < D; ++d) {
+      if (o.lo[d] < lo[d] || o.hi[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  /// Grows the box to cover `o` as well.
+  constexpr void ExpandToInclude(const Box& o) {
+    for (int d = 0; d < D; ++d) {
+      lo[d] = std::min(lo[d], o.lo[d]);
+      hi[d] = std::max(hi[d], o.hi[d]);
+    }
+  }
+
+  /// Grows the box to cover point `p`.
+  constexpr void ExpandToInclude(const Point<D>& p) {
+    for (int d = 0; d < D; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+
+  /// Extends every dimension by `amount` on both sides.
+  constexpr Box Inflated(Scalar amount) const {
+    Box b = *this;
+    for (int d = 0; d < D; ++d) {
+      b.lo[d] -= amount;
+      b.hi[d] += amount;
+    }
+    return b;
+  }
+
+  /// Side length in dimension `d` (0 for empty boxes).
+  constexpr Scalar Extent(int d) const {
+    return hi[d] >= lo[d] ? hi[d] - lo[d] : Scalar{0};
+  }
+
+  /// Product of all extents; 0 for empty or degenerate boxes.
+  constexpr double Volume() const {
+    double v = 1.0;
+    for (int d = 0; d < D; ++d) {
+      if (hi[d] < lo[d]) return 0.0;
+      v *= static_cast<double>(hi[d]) - static_cast<double>(lo[d]);
+    }
+    return v;
+  }
+
+  /// Geometric centre. Only meaningful for non-empty boxes.
+  constexpr Point<D> Center() const {
+    Point<D> c;
+    for (int d = 0; d < D; ++d) c[d] = (lo[d] + hi[d]) / Scalar{2};
+    return c;
+  }
+
+  /// The largest intersection of this box with `o` (empty if disjoint).
+  constexpr Box IntersectionWith(const Box& o) const {
+    Box b;
+    for (int d = 0; d < D; ++d) {
+      b.lo[d] = std::max(lo[d], o.lo[d]);
+      b.hi[d] = std::min(hi[d], o.hi[d]);
+    }
+    return b;
+  }
+
+  friend constexpr bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend constexpr bool operator!=(const Box& a, const Box& b) {
+    return !(a == b);
+  }
+};
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Box<D>& b) {
+  return os << '[' << b.lo << " .. " << b.hi << ']';
+}
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+}  // namespace quasii
+
+#endif  // QUASII_GEOMETRY_BOX_H_

@@ -1,0 +1,66 @@
+#ifndef QUASII_GEOMETRY_POINT_H_
+#define QUASII_GEOMETRY_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace quasii {
+
+/// Coordinate type used across the library.
+///
+/// The paper's universes are integer-scaled (10 000 units per dimension, or
+/// micrometre-scale brain volumes); single precision holds them exactly
+/// enough and halves the memory footprint of every index.
+using Scalar = float;
+
+/// Identifier of a spatial object: its position in the original dataset
+/// vector. 32 bits cover the paper's largest dataset (1B objects would need
+/// an extended type; laptop-scale reproductions do not).
+using ObjectId = std::uint32_t;
+
+/// A point in D-dimensional space.
+template <int D>
+struct Point {
+  static_assert(D >= 1, "dimensionality must be positive");
+
+  std::array<Scalar, D> coords{};
+
+  constexpr Scalar& operator[](int d) { return coords[static_cast<size_t>(d)]; }
+  constexpr Scalar operator[](int d) const {
+    return coords[static_cast<size_t>(d)];
+  }
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.coords == b.coords;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+
+  /// Euclidean distance to another point.
+  Scalar DistanceTo(const Point& other) const {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      const double diff = static_cast<double>(coords[static_cast<size_t>(d)]) -
+                          static_cast<double>(other[d]);
+      sum += diff * diff;
+    }
+    return static_cast<Scalar>(std::sqrt(sum));
+  }
+};
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Point<D>& p) {
+  os << '(';
+  for (int d = 0; d < D; ++d) {
+    if (d > 0) os << ", ";
+    os << p[d];
+  }
+  return os << ')';
+}
+
+}  // namespace quasii
+
+#endif  // QUASII_GEOMETRY_POINT_H_

@@ -1,0 +1,222 @@
+#ifndef QUASII_GRID_GRID_INDEX_H_
+#define QUASII_GRID_GRID_INDEX_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/spatial_index.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// How objects are assigned to cells of a space-oriented index (Section 3.2):
+/// `kReplication` stores an object in every cell it overlaps (needs
+/// de-duplication at query time); `kQueryExtension` stores it only in the
+/// cell of its centre and compensates by extending queries with half the
+/// maximum object extent [Stefanakis et al., 40].
+enum class GridAssignment { kQueryExtension, kReplication };
+
+/// The static uniform grid — the space-oriented counterpart of Mosaic in the
+/// paper's evaluation (Section 6.1) and the cheapest-to-build static index.
+/// Cells are stored CSR-style: one flat id array plus per-cell offsets.
+template <int D>
+class GridIndex final : public SpatialIndex<D> {
+ public:
+  struct Params {
+    /// Cells per dimension. The paper sweeps this (100 best for Uniform,
+    /// 220 best for Neuro — Fig. 6b shows how data-dependent it is).
+    int partitions_per_dim = 100;
+    GridAssignment assignment = GridAssignment::kQueryExtension;
+  };
+
+  /// Keeps a reference to `data`. `universe` is the box the grid tiles;
+  /// objects outside it are clamped into the boundary cells.
+  GridIndex(const Dataset<D>& data, const Box<D>& universe,
+            const Params& params)
+      : data_(&data), universe_(universe), params_(params) {
+    name_ = params.assignment == GridAssignment::kQueryExtension
+                ? "GridQueryExt"
+                : "GridReplication";
+  }
+
+  std::string_view name() const override { return name_; }
+
+  int partitions_per_dim() const { return params_.partitions_per_dim; }
+
+  /// Builds the CSR cell directory (the grid's whole pre-processing cost).
+  void Build() override {
+    const Dataset<D>& data = *data_;
+    const int p = params_.partitions_per_dim;
+    std::size_t num_cells = 1;
+    for (int d = 0; d < D; ++d) {
+      inv_cell_width_[d] =
+          universe_.Extent(d) > 0
+              ? static_cast<double>(p) /
+                    static_cast<double>(universe_.Extent(d))
+              : 0.0;
+      num_cells *= static_cast<std::size_t>(p);
+    }
+    strides_[0] = 1;
+    for (int d = 1; d < D; ++d) {
+      strides_[d] = strides_[d - 1] * static_cast<std::size_t>(p);
+    }
+    half_extent_ = Point<D>{};
+    for (const Box<D>& b : data) {
+      for (int d = 0; d < D; ++d) {
+        half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
+      }
+    }
+
+    // Counting pass, prefix sum, placement pass.
+    cell_start_.assign(num_cells + 1, 0);
+    if (params_.assignment == GridAssignment::kQueryExtension) {
+      for (const Box<D>& b : data) {
+        ++cell_start_[CellIndexOf(b.Center()) + 1];
+      }
+    } else {
+      for (const Box<D>& b : data) {
+        ForEachCell(CellRectOf(b), [&](std::size_t cell) {
+          ++cell_start_[cell + 1];
+        });
+      }
+    }
+    std::partial_sum(cell_start_.begin(), cell_start_.end(),
+                     cell_start_.begin());
+    entries_.resize(cell_start_.back());
+    std::vector<std::size_t> fill(cell_start_.begin(),
+                                  cell_start_.end() - 1);
+    for (ObjectId i = 0; i < data.size(); ++i) {
+      if (params_.assignment == GridAssignment::kQueryExtension) {
+        entries_[fill[CellIndexOf(data[i].Center())]++] = i;
+      } else {
+        ForEachCell(CellRectOf(data[i]),
+                    [&](std::size_t cell) { entries_[fill[cell]++] = i; });
+      }
+    }
+    if (params_.assignment == GridAssignment::kReplication) {
+      last_seen_.assign(data.size(), 0);
+    }
+    built_ = true;
+  }
+
+  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (!built_) Build();
+    const Dataset<D>& data = *data_;
+    if (params_.assignment == GridAssignment::kQueryExtension) {
+      // The query is extended by half the max object extent so that every
+      // intersecting object's *centre* cell is covered.
+      Box<D> extended = q;
+      for (int d = 0; d < D; ++d) {
+        extended.lo[d] -= half_extent_[d];
+        extended.hi[d] += half_extent_[d];
+      }
+      ForEachCell(CellRectOf(extended), [&](std::size_t cell) {
+        ++this->stats_.partitions_visited;
+        for (std::size_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+             ++k) {
+          ++this->stats_.objects_tested;
+          const ObjectId id = entries_[k];
+          if (data[id].Intersects(q)) result->push_back(id);
+        }
+      });
+    } else {
+      ++epoch_;
+      if (epoch_ == 0) {  // counter wrapped: restart stamps
+        std::fill(last_seen_.begin(), last_seen_.end(), 0);
+        epoch_ = 1;
+      }
+      ForEachCell(CellRectOf(q), [&](std::size_t cell) {
+        ++this->stats_.partitions_visited;
+        for (std::size_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+             ++k) {
+          const ObjectId id = entries_[k];
+          if (last_seen_[id] == epoch_) {
+            ++this->stats_.duplicates_removed;
+            continue;
+          }
+          last_seen_[id] = epoch_;
+          ++this->stats_.objects_tested;
+          if (data[id].Intersects(q)) result->push_back(id);
+        }
+      });
+    }
+  }
+
+ private:
+  using CellCoords = std::array<int, D>;
+  struct CellRect {
+    CellCoords lo;
+    CellCoords hi;
+  };
+
+  int CellCoordOf(Scalar v, int d) const {
+    const double c = (static_cast<double>(v) -
+                      static_cast<double>(universe_.lo[d])) *
+                     inv_cell_width_[d];
+    const int p = params_.partitions_per_dim;
+    if (c <= 0.0) return 0;
+    if (c >= static_cast<double>(p - 1)) return p - 1;
+    return static_cast<int>(c);
+  }
+
+  std::size_t CellIndexOf(const Point<D>& pt) const {
+    std::size_t idx = 0;
+    for (int d = 0; d < D; ++d) {
+      idx += static_cast<std::size_t>(CellCoordOf(pt[d], d)) * strides_[d];
+    }
+    return idx;
+  }
+
+  CellRect CellRectOf(const Box<D>& b) const {
+    CellRect r;
+    for (int d = 0; d < D; ++d) {
+      r.lo[d] = CellCoordOf(b.lo[d], d);
+      r.hi[d] = CellCoordOf(b.hi[d], d);
+    }
+    return r;
+  }
+
+  /// Invokes `fn(linear_cell_index)` for every cell in the rectangle.
+  template <typename Fn>
+  void ForEachCell(const CellRect& r, Fn&& fn) const {
+    CellCoords c = r.lo;
+    while (true) {
+      std::size_t idx = 0;
+      for (int d = 0; d < D; ++d) {
+        idx += static_cast<std::size_t>(c[d]) * strides_[d];
+      }
+      fn(idx);
+      int d = 0;
+      for (; d < D; ++d) {
+        if (++c[d] <= r.hi[d]) break;
+        c[d] = r.lo[d];
+      }
+      if (d == D) return;
+    }
+  }
+
+  const Dataset<D>* data_;
+  Box<D> universe_;
+  Params params_;
+  std::string_view name_;
+  bool built_ = false;
+
+  std::array<double, D> inv_cell_width_{};
+  std::array<std::size_t, D> strides_{};
+  Point<D> half_extent_{};
+  std::vector<std::size_t> cell_start_;
+  std::vector<ObjectId> entries_;
+
+  // Replication de-duplication stamps (one epoch per query).
+  std::vector<std::uint32_t> last_seen_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_GRID_GRID_INDEX_H_

@@ -1,0 +1,152 @@
+#ifndef QUASII_MOSAIC_MOSAIC_INDEX_H_
+#define QUASII_MOSAIC_MOSAIC_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/spatial_index.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// Mosaic (Section 3.2): Space Odyssey's incremental indexing idea [35]
+/// adapted to main memory. An octree (2^D-tree) is built top-down as a side
+/// effect of queries: every query splits the overlapping partitions into
+/// 2^D equal sub-partitions and reassigns their objects, recursively, until
+/// partitions are small enough. Frequently queried areas end up fully
+/// indexed; untouched areas stay coarse.
+///
+/// Objects are assigned to partitions by their *centre* (query-extension
+/// strategy [40]) — the paper shows replication is far worse for volumetric
+/// objects (Fig. 6a) — so queries are extended by half the maximum object
+/// extent during traversal and candidates are filtered against the original
+/// query box.
+template <int D>
+class MosaicIndex final : public SpatialIndex<D> {
+ public:
+  struct Params {
+    /// A partition with at most this many objects is final (not split).
+    std::size_t leaf_capacity = 1024;
+    /// Hard depth cap: guards against duplicate-heavy data where splitting
+    /// cannot reduce partition sizes.
+    int max_depth = 12;
+  };
+
+  struct Node {
+    Box<D> bounds;
+    std::vector<ObjectId> objects;  // leaves only
+    std::vector<Node> children;     // empty or exactly 2^D
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  MosaicIndex(const Dataset<D>& data, const Box<D>& universe,
+              const Params& params = Params{})
+      : data_(&data), universe_(universe), params_(params) {}
+
+  std::string_view name() const override { return "Mosaic"; }
+
+  /// Incremental index: all structure is built inside `Query`.
+  void Build() override {}
+
+  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (!initialized_) Initialize();
+    Box<D> extended = q;
+    for (int d = 0; d < D; ++d) {
+      extended.lo[d] -= half_extent_[d];
+      extended.hi[d] += half_extent_[d];
+    }
+    QueryNode(&root_, 0, q, extended, result);
+  }
+
+  const Node& root() const { return root_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  static constexpr std::size_t kChildren = std::size_t{1} << D;
+
+  void Initialize() {
+    const Dataset<D>& data = *data_;
+    root_.bounds = universe_;
+    root_.objects.resize(data.size());
+    std::iota(root_.objects.begin(), root_.objects.end(), ObjectId{0});
+    half_extent_ = Point<D>{};
+    for (const Box<D>& b : data) {
+      for (int d = 0; d < D; ++d) {
+        half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
+      }
+    }
+    initialized_ = true;
+  }
+
+  /// Splits a leaf into 2^D children and reassigns its objects by centre —
+  /// the re-partitioning work that makes Mosaic's incremental strategy
+  /// expensive in frequently queried areas (Section 6.3).
+  void Split(Node* node) {
+    const Dataset<D>& data = *data_;
+    const Point<D> mid = node->bounds.Center();
+    node->children.resize(kChildren);
+    for (std::size_t c = 0; c < kChildren; ++c) {
+      Node& child = node->children[c];
+      for (int d = 0; d < D; ++d) {
+        if ((c >> d) & 1u) {
+          child.bounds.lo[d] = mid[d];
+          child.bounds.hi[d] = node->bounds.hi[d];
+        } else {
+          child.bounds.lo[d] = node->bounds.lo[d];
+          child.bounds.hi[d] = mid[d];
+        }
+      }
+    }
+    for (const ObjectId id : node->objects) {
+      const Point<D> centre = data[id].Center();
+      std::size_t c = 0;
+      for (int d = 0; d < D; ++d) {
+        if (centre[d] > mid[d]) c |= std::size_t{1} << d;
+      }
+      node->children[c].objects.push_back(id);
+    }
+    ++this->stats_.cracks;
+    this->stats_.objects_moved += node->objects.size();
+    node->objects.clear();
+    node->objects.shrink_to_fit();
+  }
+
+  void QueryNode(Node* node, int depth, const Box<D>& q,
+                 const Box<D>& extended, std::vector<ObjectId>* result) {
+    ++this->stats_.partitions_visited;
+    if (node->is_leaf()) {
+      if (node->objects.size() > params_.leaf_capacity &&
+          depth < params_.max_depth) {
+        Split(node);
+        // fall through to the children loop below
+      } else {
+        const Dataset<D>& data = *data_;
+        for (const ObjectId id : node->objects) {
+          ++this->stats_.objects_tested;
+          if (data[id].Intersects(q)) result->push_back(id);
+        }
+        return;
+      }
+    }
+    for (Node& child : node->children) {
+      if (child.bounds.Intersects(extended)) {
+        QueryNode(&child, depth + 1, q, extended, result);
+      }
+    }
+  }
+
+  const Dataset<D>* data_;
+  Box<D> universe_;
+  Params params_;
+  bool initialized_ = false;
+  Node root_;
+  Point<D> half_extent_{};
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_MOSAIC_MOSAIC_INDEX_H_

@@ -1,0 +1,50 @@
+#ifndef QUASII_RTREE_STR_PACK_H_
+#define QUASII_RTREE_STR_PACK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// Sort-Tile-Recursive ordering [Leutenegger et al., 26]: recursively sorts
+/// `items[lo, hi)` so that consecutive groups of `capacity` items form
+/// square-ish tiles. `center(item, d)` must return the item's centre
+/// coordinate in dimension `d`.
+///
+/// At each dimension the range is fully sorted and cut into
+/// `S = ceil(P^(1/(D-dim)))` slabs (P = leaves still needed); slab sizes are
+/// rounded up to a multiple of `capacity` so leaves never straddle slabs.
+/// QUASII's nested reorganization is the lazy, partial analogue of exactly
+/// this procedure (paper Section 4).
+template <int D, typename T, typename CenterFn>
+void StrSort(std::vector<T>& items, std::size_t lo, std::size_t hi, int dim,
+             std::size_t capacity, CenterFn center) {
+  const std::size_t m = hi - lo;
+  if (m <= capacity || dim >= D) return;
+
+  std::sort(items.begin() + static_cast<std::ptrdiff_t>(lo),
+            items.begin() + static_cast<std::ptrdiff_t>(hi),
+            [&](const T& a, const T& b) {
+              return center(a, dim) < center(b, dim);
+            });
+  if (dim == D - 1) return;  // final dimension: consecutive groups are tiles
+
+  const double leaves =
+      std::ceil(static_cast<double>(m) / static_cast<double>(capacity));
+  const std::size_t slabs = static_cast<std::size_t>(
+      std::ceil(std::pow(leaves, 1.0 / static_cast<double>(D - dim))));
+  std::size_t run = (m + slabs - 1) / std::max<std::size_t>(slabs, 1);
+  run = ((run + capacity - 1) / capacity) * capacity;  // align to capacity
+  for (std::size_t start = lo; start < hi; start += run) {
+    StrSort<D>(items, start, std::min(start + run, hi), dim + 1, capacity,
+               center);
+  }
+}
+
+}  // namespace quasii
+
+#endif  // QUASII_RTREE_STR_PACK_H_

@@ -1,0 +1,39 @@
+#ifndef QUASII_SCAN_SCAN_INDEX_H_
+#define QUASII_SCAN_SCAN_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/spatial_index.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// The index-less baseline: answers every query with a full pass over the
+/// dataset. This is one of the two options scientists have today (Section 2)
+/// and the reference every result set is validated against in the tests.
+template <int D>
+class ScanIndex final : public SpatialIndex<D> {
+ public:
+  /// Keeps a reference to `data`; the caller owns it and must keep it alive.
+  explicit ScanIndex(const Dataset<D>& data) : data_(&data) {}
+
+  std::string_view name() const override { return "Scan"; }
+
+  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    const Dataset<D>& data = *data_;
+    this->stats_.partitions_visited += 1;
+    this->stats_.objects_tested += data.size();
+    for (ObjectId i = 0; i < data.size(); ++i) {
+      if (data[i].Intersects(q)) result->push_back(i);
+    }
+  }
+
+ private:
+  const Dataset<D>* data_;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_SCAN_SCAN_INDEX_H_

@@ -1,0 +1,19 @@
+#ifndef QUASII_SFC_ZENTRY_H_
+#define QUASII_SFC_ZENTRY_H_
+
+#include "common/spatial_index.h"
+#include "zorder/zorder.h"
+
+namespace quasii {
+
+/// One object as the SFC-based indexes see it: its Z-code (of the cell
+/// containing the object's centre) plus the object id. The actual MBB stays
+/// in the dataset and is only consulted for the final intersection filter.
+struct ZEntry {
+  zorder::ZCode code = 0;
+  ObjectId id = 0;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_SFC_ZENTRY_H_

@@ -1,0 +1,96 @@
+#ifndef QUASII_ZORDER_BIGMIN_H_
+#define QUASII_ZORDER_BIGMIN_H_
+
+#include <array>
+#include <optional>
+
+#include "zorder/zorder.h"
+
+namespace quasii::zorder {
+
+/// Bit masks supporting the Tropf–Herzog BIGMIN/LITMAX computation [43].
+template <int D>
+struct ZMasks {
+  static constexpr int kTotalBits = D * ZTraits<D>::kBitsPerDim;
+
+  /// `lower_same_dim[p]`: all code positions below `p` that belong to the
+  /// same dimension as `p` (positions p-D, p-2D, ...).
+  static constexpr std::array<ZCode, 32> MakeLowerSameDim() {
+    std::array<ZCode, 32> m{};
+    for (int p = 0; p < kTotalBits; ++p) {
+      ZCode mask = 0;
+      for (int q = p - D; q >= 0; q -= D) mask |= (ZCode{1} << q);
+      m[static_cast<size_t>(p)] = mask;
+    }
+    return m;
+  }
+  static constexpr std::array<ZCode, 32> kLowerSameDim = MakeLowerSameDim();
+
+  /// Sets bit `p` to 1 and zeroes all lower bits of the same dimension
+  /// (the "10000..." LOAD of Tropf–Herzog).
+  static constexpr ZCode Load10(ZCode v, int p) {
+    return (v & ~kLowerSameDim[static_cast<size_t>(p)]) | (ZCode{1} << p);
+  }
+
+  /// Sets bit `p` to 0 and all lower bits of the same dimension to 1
+  /// (the "01111..." LOAD).
+  static constexpr ZCode Load01(ZCode v, int p) {
+    return (v & ~(ZCode{1} << p)) | kLowerSameDim[static_cast<size_t>(p)];
+  }
+};
+
+/// BIGMIN (Tropf–Herzog): the smallest Z-code inside the query rectangle
+/// spanned by `zmin`/`zmax` (codes of the rectangle's lower/upper corner)
+/// that is strictly greater than `z`. `std::nullopt` when no such code
+/// exists. `z` is expected to lie outside the rectangle (the classic use:
+/// jump over a non-qualifying gap while scanning a Z-sorted array).
+template <int D>
+std::optional<ZCode> BigMin(ZCode z, ZCode zmin, ZCode zmax) {
+  using M = ZMasks<D>;
+  std::optional<ZCode> bigmin;
+  for (int p = M::kTotalBits - 1; p >= 0; --p) {
+    const unsigned zb = (z >> p) & 1u;
+    const unsigned minb = (zmin >> p) & 1u;
+    const unsigned maxb = (zmax >> p) & 1u;
+    if (zb == 0 && minb == 0 && maxb == 1) {
+      bigmin = M::Load10(zmin, p);
+      zmax = M::Load01(zmax, p);
+    } else if (zb == 0 && minb == 1) {  // maxb must be 1 too
+      return zmin;
+    } else if (zb == 1 && maxb == 0) {  // minb must be 0
+      return bigmin;
+    } else if (zb == 1 && minb == 0 && maxb == 1) {
+      zmin = M::Load10(zmin, p);
+    }
+    // (0,0,0) and (1,1,1): restriction unchanged, continue.
+  }
+  return bigmin;
+}
+
+/// LITMAX (Tropf–Herzog): the largest Z-code inside the rectangle that is
+/// strictly smaller than `z`, or `std::nullopt`.
+template <int D>
+std::optional<ZCode> LitMax(ZCode z, ZCode zmin, ZCode zmax) {
+  using M = ZMasks<D>;
+  std::optional<ZCode> litmax;
+  for (int p = M::kTotalBits - 1; p >= 0; --p) {
+    const unsigned zb = (z >> p) & 1u;
+    const unsigned minb = (zmin >> p) & 1u;
+    const unsigned maxb = (zmax >> p) & 1u;
+    if (zb == 1 && minb == 0 && maxb == 1) {
+      litmax = M::Load01(zmax, p);
+      zmin = M::Load10(zmin, p);
+    } else if (zb == 1 && maxb == 0) {  // whole rect below z
+      return zmax;
+    } else if (zb == 0 && minb == 1) {  // whole rect above z
+      return litmax;
+    } else if (zb == 0 && minb == 0 && maxb == 1) {
+      zmax = M::Load01(zmax, p);
+    }
+  }
+  return litmax;
+}
+
+}  // namespace quasii::zorder
+
+#endif  // QUASII_ZORDER_BIGMIN_H_

@@ -1,0 +1,73 @@
+#ifndef QUASII_ZORDER_ZGRID_H_
+#define QUASII_ZORDER_ZGRID_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "geometry/box.h"
+#include "zorder/zorder.h"
+
+namespace quasii::zorder {
+
+/// Maps continuous coordinates in a fixed universe onto the 2^kBitsPerDim
+/// uniform grid underlying the Z-curve (the paper: "SFCracker assigns the
+/// SFCcodes using a uniform grid", Section 6.2).
+template <int D>
+class ZGrid {
+ public:
+  using Cells = std::array<std::uint32_t, D>;
+  static constexpr std::uint32_t kMaxCell =
+      (std::uint32_t{1} << ZTraits<D>::kBitsPerDim) - 1;
+
+  ZGrid() = default;
+
+  /// `universe` must have positive extent in every dimension; coordinates
+  /// outside it are clamped onto the boundary cells.
+  explicit ZGrid(const Box<D>& universe) : universe_(universe) {
+    for (int d = 0; d < D; ++d) {
+      const double extent = static_cast<double>(universe.Extent(d));
+      inv_cell_[static_cast<size_t>(d)] =
+          extent > 0.0 ? (static_cast<double>(kMaxCell) + 1.0) / extent : 0.0;
+    }
+  }
+
+  const Box<D>& universe() const { return universe_; }
+
+  /// Grid coordinate of value `v` in dimension `d`, clamped to the grid.
+  std::uint32_t CellCoord(Scalar v, int d) const {
+    const double offset = static_cast<double>(v) -
+                          static_cast<double>(universe_.lo[d]);
+    const double cell = offset * inv_cell_[static_cast<size_t>(d)];
+    if (cell <= 0.0) return 0;
+    if (cell >= static_cast<double>(kMaxCell)) return kMaxCell;
+    return static_cast<std::uint32_t>(cell);
+  }
+
+  Cells CellOf(const Point<D>& p) const {
+    Cells c;
+    for (int d = 0; d < D; ++d) {
+      c[static_cast<size_t>(d)] = CellCoord(p[d], d);
+    }
+    return c;
+  }
+
+  /// Z-code of the cell containing `p`.
+  ZCode CodeOf(const Point<D>& p) const {
+    return ZTraits<D>::Encode(CellOf(p));
+  }
+
+  /// The inclusive cell rectangle covering box `b` (clamped to the grid).
+  void CellRect(const Box<D>& b, Cells* lo, Cells* hi) const {
+    *lo = CellOf(b.lo);
+    *hi = CellOf(b.hi);
+  }
+
+ private:
+  Box<D> universe_;
+  std::array<double, D> inv_cell_{};
+};
+
+}  // namespace quasii::zorder
+
+#endif  // QUASII_ZORDER_ZGRID_H_

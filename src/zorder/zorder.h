@@ -1,0 +1,90 @@
+#ifndef QUASII_ZORDER_ZORDER_H_
+#define QUASII_ZORDER_ZORDER_H_
+
+#include <array>
+#include <cstdint>
+
+namespace quasii::zorder {
+
+/// A Z-order (Morton) code. The paper uses 32-bit codes — 10 bits per
+/// dimension in 3d — "as a trade-off between memory resources and precision"
+/// (Section 6.1). We keep the same representation.
+using ZCode = std::uint32_t;
+
+/// Spreads the low 10 bits of `v` so bit i lands at position 3*i
+/// (the classic "part-1-by-2" bit trick).
+constexpr std::uint32_t Part1By2(std::uint32_t v) {
+  v &= 0x000003FFu;
+  v = (v | (v << 16)) & 0x030000FFu;
+  v = (v | (v << 8)) & 0x0300F00Fu;
+  v = (v | (v << 4)) & 0x030C30C3u;
+  v = (v | (v << 2)) & 0x09249249u;
+  return v;
+}
+
+/// Inverse of `Part1By2`: collects every third bit into the low 10 bits.
+constexpr std::uint32_t Compact1By2(std::uint32_t v) {
+  v &= 0x09249249u;
+  v = (v ^ (v >> 2)) & 0x030C30C3u;
+  v = (v ^ (v >> 4)) & 0x0300F00Fu;
+  v = (v ^ (v >> 8)) & 0x030000FFu;
+  v = (v ^ (v >> 16)) & 0x000003FFu;
+  return v;
+}
+
+/// Spreads the low 16 bits of `v` so bit i lands at position 2*i.
+constexpr std::uint32_t Part1By1(std::uint32_t v) {
+  v &= 0x0000FFFFu;
+  v = (v | (v << 8)) & 0x00FF00FFu;
+  v = (v | (v << 4)) & 0x0F0F0F0Fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+/// Inverse of `Part1By1`.
+constexpr std::uint32_t Compact1By1(std::uint32_t v) {
+  v &= 0x55555555u;
+  v = (v ^ (v >> 1)) & 0x33333333u;
+  v = (v ^ (v >> 2)) & 0x0F0F0F0Fu;
+  v = (v ^ (v >> 4)) & 0x00FF00FFu;
+  v = (v ^ (v >> 8)) & 0x0000FFFFu;
+  return v;
+}
+
+/// Dimension-specific Z-curve parameters. Dimension `d`'s bit i sits at code
+/// position `D*i + d` (x interleaved least significant), so ascending code
+/// order visits children in x-fastest order.
+template <int D>
+struct ZTraits;
+
+template <>
+struct ZTraits<2> {
+  /// Bits per dimension (16*2 = 32-bit codes).
+  static constexpr int kBitsPerDim = 16;
+
+  static constexpr ZCode Encode(const std::array<std::uint32_t, 2>& c) {
+    return Part1By1(c[0]) | (Part1By1(c[1]) << 1);
+  }
+  static constexpr std::array<std::uint32_t, 2> Decode(ZCode code) {
+    return {Compact1By1(code), Compact1By1(code >> 1)};
+  }
+};
+
+template <>
+struct ZTraits<3> {
+  /// Bits per dimension (10*3 = 30 bits used of the 32-bit code),
+  /// matching the paper's configuration.
+  static constexpr int kBitsPerDim = 10;
+
+  static constexpr ZCode Encode(const std::array<std::uint32_t, 3>& c) {
+    return Part1By2(c[0]) | (Part1By2(c[1]) << 1) | (Part1By2(c[2]) << 2);
+  }
+  static constexpr std::array<std::uint32_t, 3> Decode(ZCode code) {
+    return {Compact1By2(code), Compact1By2(code >> 1), Compact1By2(code >> 2)};
+  }
+};
+
+}  // namespace quasii::zorder
+
+#endif  // QUASII_ZORDER_ZORDER_H_

@@ -1,0 +1,184 @@
+#ifndef QUASII_BENCH_BENCH_H_
+#define QUASII_BENCH_BENCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/dataset.h"
+#include "common/spatial_index.h"
+#include "common/timer.h"
+#include "datagen/neuro.h"
+#include "datagen/queries.h"
+#include "datagen/synthetic.h"
+#include "geometry/box.h"
+#include "grid/grid_index.h"
+#include "mosaic/mosaic_index.h"
+#include "quasii/quasii_index.h"
+#include "rtree/rtree_index.h"
+#include "scan/scan_index.h"
+#include "sfc/sfc_index.h"
+#include "sfc/sfcracker_index.h"
+
+namespace quasii::bench {
+
+/// Configuration of one experiment run (paper Section 6.1 setup, scaled by
+/// the caller): one dataset, one query workload, a roster of indexes.
+struct BenchConfig {
+  /// "uniform" (synthetic, Section 6.1) or "neuro" (clustered substitute).
+  std::string dataset = "uniform";
+  /// "uniform" (Section 6.6) or "clustered" (Section 6.1 default).
+  std::string workload = "uniform";
+  std::size_t n = std::size_t{1} << 17;
+  int queries = 1000;
+  double selectivity = 1e-3;
+  std::uint64_t seed = 1;
+  /// Empty = every index in the roster; otherwise exact `name()` matches.
+  std::vector<std::string> indexes;
+};
+
+/// The full evaluation roster over one dataset (Section 6.1 list).
+inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeIndexRoster(
+    const Dataset3& data, const Box3& universe) {
+  std::vector<std::unique_ptr<SpatialIndex<3>>> roster;
+  roster.push_back(std::make_unique<ScanIndex<3>>(data));
+  roster.push_back(std::make_unique<SfcIndex<3>>(data, universe));
+  roster.push_back(std::make_unique<SfcrackerIndex<3>>(data, universe));
+  {
+    GridIndex<3>::Params p;
+    p.assignment = GridAssignment::kQueryExtension;
+    roster.push_back(std::make_unique<GridIndex<3>>(data, universe, p));
+  }
+  roster.push_back(std::make_unique<MosaicIndex<3>>(data, universe));
+  roster.push_back(std::make_unique<RTreeIndex<3>>(data));
+  roster.push_back(std::make_unique<QuasiiIndex<3>>(data));
+  return roster;
+}
+
+/// Per-index measurement: build time, per-query latencies, cumulative stats.
+struct IndexRun {
+  std::string name;
+  double build_ms = 0;
+  double total_query_ms = 0;
+  std::vector<double> latencies_ms;
+  std::uint64_t result_objects = 0;
+  QueryStats cumulative;
+};
+
+inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
+                            Box3* universe, std::vector<Box3>* queries) {
+  if (config.dataset == "neuro") {
+    datagen::NeuroDatasetParams p;
+    p.count = config.n;
+    p.seed = config.seed;
+    *data = datagen::MakeNeuroDataset(p);
+    *universe = datagen::NeuroUniverse(p);
+  } else {
+    datagen::UniformDatasetParams p;
+    p.count = config.n;
+    p.seed = config.seed;
+    *data = datagen::MakeUniformDataset(p);
+    *universe = datagen::UniformUniverse(p);
+  }
+  if (config.workload == "clustered") {
+    datagen::ClusteredQueryParams p;
+    // Round up per cluster, then trim, so exactly `queries` run.
+    p.queries_per_cluster =
+        (config.queries + p.clusters - 1) / std::max(p.clusters, 1);
+    p.selectivity = config.selectivity;
+    p.seed = config.seed + 1;
+    *queries = datagen::MakeClusteredQueries(*universe, *data, p);
+    queries->resize(static_cast<std::size_t>(config.queries));
+  } else {
+    datagen::UniformQueryParams p;
+    p.count = config.queries;
+    p.selectivity = config.selectivity;
+    p.seed = config.seed + 1;
+    *queries = datagen::MakeUniformQueries(*universe, p);
+  }
+}
+
+inline IndexRun RunIndex(SpatialIndex<3>* index,
+                         const std::vector<Box3>& queries) {
+  IndexRun run;
+  run.name = std::string(index->name());
+  Timer build_timer;
+  index->Build();
+  run.build_ms = build_timer.Millis();
+  index->ResetStats();
+
+  std::vector<ObjectId> result;
+  for (const Box3& q : queries) {
+    result.clear();
+    Timer t;
+    index->Query(q, &result);
+    run.latencies_ms.push_back(t.Millis());
+    run.total_query_ms += run.latencies_ms.back();
+    run.result_objects += result.size();
+  }
+  run.cumulative = index->stats();
+  return run;
+}
+
+inline void WriteStats(JsonWriter* w, const QueryStats& s) {
+  w->BeginObject();
+  w->Key("objects_tested").Uint(s.objects_tested);
+  w->Key("partitions_visited").Uint(s.partitions_visited);
+  w->Key("cracks").Uint(s.cracks);
+  w->Key("objects_moved").Uint(s.objects_moved);
+  w->Key("duplicates_removed").Uint(s.duplicates_removed);
+  w->Key("intervals").Uint(s.intervals);
+  w->EndObject();
+}
+
+/// Runs the configured experiment and returns the JSON report consumed by
+/// the BENCH_*.json comparison tooling.
+inline std::string RunBenchmark(const BenchConfig& config) {
+  Dataset3 data;
+  Box3 universe;
+  std::vector<Box3> queries;
+  MakeBenchInputs(config, &data, &universe, &queries);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("config").BeginObject();
+  w.Key("dataset").String(config.dataset);
+  w.Key("workload").String(config.workload);
+  w.Key("n").Uint(data.size());
+  w.Key("queries").Uint(queries.size());
+  w.Key("selectivity").Double(config.selectivity);
+  w.Key("seed").Uint(config.seed);
+  w.EndObject();
+
+  w.Key("results").BeginArray();
+  auto roster = MakeIndexRoster(data, universe);
+  for (const auto& index : roster) {
+    if (!config.indexes.empty() &&
+        std::find(config.indexes.begin(), config.indexes.end(),
+                  std::string(index->name())) == config.indexes.end()) {
+      continue;
+    }
+    const IndexRun run = RunIndex(index.get(), queries);
+    w.BeginObject();
+    w.Key("index").String(run.name);
+    w.Key("build_ms").Double(run.build_ms);
+    w.Key("total_query_ms").Double(run.total_query_ms);
+    w.Key("result_objects").Uint(run.result_objects);
+    w.Key("cumulative_stats");
+    WriteStats(&w, run.cumulative);
+    w.Key("latencies_ms").BeginArray();
+    for (const double ms : run.latencies_ms) w.Double(ms);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace quasii::bench
+
+#endif  // QUASII_BENCH_BENCH_H_

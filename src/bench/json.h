@@ -1,0 +1,145 @@
+#ifndef QUASII_BENCH_JSON_H_
+#define QUASII_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quasii::bench {
+
+/// Minimal streaming JSON writer for the benchmark reports. Handles comma
+/// placement via a nesting stack; values must be emitted through the typed
+/// methods so numbers stay finite (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Prefix();
+    out_ << '{';
+    stack_.push_back(State::kFirstInObject);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    stack_.pop_back();
+    out_ << '}';
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Prefix();
+    out_ << '[';
+    stack_.push_back(State::kFirstInArray);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    stack_.pop_back();
+    out_ << ']';
+    return *this;
+  }
+
+  JsonWriter& Key(std::string_view k) {
+    Prefix();
+    Quote(k);
+    out_ << ':';
+    stack_.push_back(State::kAfterKey);
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view v) {
+    Prefix();
+    Quote(v);
+    return *this;
+  }
+  JsonWriter& Uint(std::uint64_t v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Int(std::int64_t v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Double(double v) {
+    Prefix();
+    if (!std::isfinite(v)) v = 0.0;
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    const std::string s = tmp.str();
+    out_ << s;
+    // "1e+06" and "42" are valid JSON numbers already; nothing to patch.
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Prefix();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  enum class State {
+    kFirstInObject,
+    kInObject,
+    kFirstInArray,
+    kInArray,
+    kAfterKey,
+  };
+
+  void Prefix() {
+    if (stack_.empty()) return;
+    switch (stack_.back()) {
+      case State::kFirstInObject:
+        stack_.back() = State::kInObject;
+        break;
+      case State::kFirstInArray:
+        stack_.back() = State::kInArray;
+        break;
+      case State::kInObject:
+      case State::kInArray:
+        out_ << ',';
+        break;
+      case State::kAfterKey:
+        stack_.pop_back();  // the value consumes the pending key
+        break;
+    }
+  }
+
+  void Quote(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out_ << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+                 << "0123456789abcdef"[c & 0xF];
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<State> stack_;
+};
+
+}  // namespace quasii::bench
+
+#endif  // QUASII_BENCH_JSON_H_

@@ -1,0 +1,117 @@
+// Experiment driver: runs every index of the Section 6 evaluation over a
+// generated dataset + query workload and prints a JSON report (per-query
+// latencies plus cumulative QueryStats per index) to stdout or --out.
+//
+// Examples:
+//   quasii_bench --dataset=uniform --workload=uniform --n=1048576
+//   quasii_bench --dataset=neuro --workload=clustered --queries=500
+//       --indexes=QUASII,Scan --out=bench.json
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench.h"
+
+namespace {
+
+using quasii::bench::BenchConfig;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: quasii_bench [--dataset=uniform|neuro]\n"
+               "                    [--workload=uniform|clustered]\n"
+               "                    [--n=COUNT] [--queries=COUNT]\n"
+               "                    [--selectivity=FRACTION] [--seed=SEED]\n"
+               "                    [--indexes=NAME,NAME,...] [--out=PATH]\n");
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) parts.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+bool ParseArg(const std::string& arg, BenchConfig* config,
+              std::string* out_path) {
+  const std::size_t eq = arg.find('=');
+  if (arg.rfind("--", 0) != 0 || eq == std::string::npos) return false;
+  const std::string key = arg.substr(2, eq - 2);
+  const std::string value = arg.substr(eq + 1);
+  if (key == "dataset") {
+    if (value != "uniform" && value != "neuro") return false;
+    config->dataset = value;
+  } else if (key == "workload") {
+    if (value != "uniform" && value != "clustered") return false;
+    config->workload = value;
+  } else if (key == "n") {
+    config->n = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  } else if (key == "queries") {
+    config->queries = std::atoi(value.c_str());
+  } else if (key == "selectivity") {
+    config->selectivity = std::atof(value.c_str());
+  } else if (key == "seed") {
+    config->seed = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "indexes") {
+    config->indexes = SplitCommas(value);
+  } else if (key == "out") {
+    *out_path = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (!ParseArg(arg, &config, &out_path)) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (config.n == 0 || config.queries <= 0) {
+    std::fprintf(stderr, "--n and --queries must be positive\n");
+    return 2;
+  }
+  if (!(config.selectivity > 0.0) || config.selectivity > 1.0) {
+    std::fprintf(stderr, "--selectivity must be in (0, 1]\n");
+    return 2;
+  }
+
+  const std::string report = quasii::bench::RunBenchmark(config);
+  if (out_path.empty()) {
+    std::cout << report << std::endl;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << report << '\n';
+  }
+  return 0;
+}

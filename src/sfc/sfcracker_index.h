@@ -77,6 +77,10 @@ class SfcrackerIndex final : public SpatialIndex<D> {
 
   /// Number of crack boundaries learned so far (for tests/analysis).
   std::size_t num_boundaries() const { return boundaries_.size(); }
+  /// The cracker index itself (code -> position), for invariant tests.
+  const std::map<zorder::ZCode, std::size_t>& boundaries() const {
+    return boundaries_;
+  }
   const std::vector<ZEntry>& entries() const { return entries_; }
   bool initialized() const { return initialized_; }
 

@@ -1,0 +1,214 @@
+// Benchmark driver tests: the emitted report must be syntactically valid
+// JSON and contain a result entry per index with per-query latencies and
+// cumulative stats.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "bench/bench.h"
+#include "bench/json.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using quasii::bench::BenchConfig;
+using quasii::bench::JsonWriter;
+using quasii::bench::RunBenchmark;
+
+/// Minimal recursive-descent JSON syntax checker (objects, arrays, strings,
+/// numbers, literals). Returns true iff `s` is one valid JSON value.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return Eat('"');
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object() {
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+void TestJsonWriterEscaping() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("text").String("a\"b\\c\nd");
+  w.Key("num").Double(1.5);
+  w.Key("arr").BeginArray().Uint(1).Uint(2).EndArray();
+  w.EndObject();
+  const std::string s = w.str();
+  CHECK(JsonValidator(s).Valid());
+  CHECK_EQ(s, "{\"text\":\"a\\\"b\\\\c\\nd\",\"num\":1.5,\"arr\":[1,2]}");
+}
+
+void TestReportIsValidJson() {
+  BenchConfig config;
+  config.n = 3000;
+  config.queries = 25;
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  // One result object per roster index, each with latencies and stats.
+  CHECK_EQ(CountOccurrences(report, "\"index\":"), 7u);
+  CHECK(report.find("\"QUASII\"") != std::string::npos);
+  CHECK(report.find("\"Scan\"") != std::string::npos);
+  CHECK_EQ(CountOccurrences(report, "\"latencies_ms\":"), 7u);
+  CHECK_EQ(CountOccurrences(report, "\"cumulative_stats\":"), 7u);
+}
+
+void TestIndexFilterAndWorkloads() {
+  BenchConfig config;
+  config.n = 2000;
+  config.queries = 13;  // not a multiple of the cluster count
+  config.dataset = "neuro";
+  config.workload = "clustered";
+  config.indexes = {"QUASII", "Scan"};
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  CHECK_EQ(CountOccurrences(report, "\"index\":"), 2u);
+  CHECK(report.find("\"R-Tree\"") == std::string::npos);
+  CHECK(report.find("\"dataset\":\"neuro\"") != std::string::npos);
+  CHECK(report.find("\"workload\":\"clustered\"") != std::string::npos);
+  // The clustered workload must honor the exact requested query count.
+  CHECK(report.find("\"queries\":13") != std::string::npos);
+}
+
+/// Every roster index sees the same queries, so result_objects must agree —
+/// the bench-level restatement of the equivalence suite.
+void TestRosterResultCountsAgree() {
+  BenchConfig config;
+  config.n = 4000;
+  config.queries = 30;
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  std::string first;
+  std::size_t pos = 0;
+  while ((pos = report.find("\"result_objects\":", pos)) !=
+         std::string::npos) {
+    pos += std::string("\"result_objects\":").size();
+    std::size_t end = pos;
+    while (end < report.size() &&
+           std::isdigit(static_cast<unsigned char>(report[end]))) {
+      ++end;
+    }
+    const std::string count = report.substr(pos, end - pos);
+    if (first.empty()) {
+      first = count;
+    } else {
+      CHECK_EQ(count, first);
+    }
+    pos = end;
+  }
+  CHECK(!first.empty());
+}
+
+}  // namespace
+
+int main() {
+  RUN_TEST(TestJsonWriterEscaping);
+  RUN_TEST(TestReportIsValidJson);
+  RUN_TEST(TestIndexFilterAndWorkloads);
+  RUN_TEST(TestRosterResultCountsAgree);
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Cross-index equivalence suite: for generated query workloads over the
+// uniform, neuro, and random-box datasets, every index must return exactly
+// the Scan baseline's result set.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/spatial_index.h"
+#include "datagen/neuro.h"
+#include "datagen/queries.h"
+#include "datagen/synthetic.h"
+#include "geometry/box.h"
+#include "grid/grid_index.h"
+#include "mosaic/mosaic_index.h"
+#include "quasii/quasii_index.h"
+#include "rtree/rtree_index.h"
+#include "scan/scan_index.h"
+#include "sfc/sfc_index.h"
+#include "sfc/sfcracker_index.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using quasii::Box2;
+using quasii::Box3;
+using quasii::BoundingBoxOf;
+using quasii::Dataset2;
+using quasii::Dataset3;
+using quasii::GridAssignment;
+using quasii::GridIndex;
+using quasii::MosaicIndex;
+using quasii::ObjectId;
+using quasii::QuasiiIndex;
+using quasii::Rng;
+using quasii::RTreeIndex;
+using quasii::ScanIndex;
+using quasii::SfcIndex;
+using quasii::SfcQueryStrategy;
+using quasii::SfcrackerIndex;
+using quasii::SpatialIndex;
+
+template <int D>
+std::vector<std::unique_ptr<SpatialIndex<D>>> MakeChallengers(
+    const quasii::Dataset<D>& data, const quasii::Box<D>& universe) {
+  std::vector<std::unique_ptr<SpatialIndex<D>>> v;
+  v.push_back(std::make_unique<SfcIndex<D>>(data, universe));
+  {
+    typename SfcIndex<D>::Params p;
+    p.strategy = SfcQueryStrategy::kBigMinScan;
+    v.push_back(std::make_unique<SfcIndex<D>>(data, universe, p));
+  }
+  v.push_back(std::make_unique<SfcrackerIndex<D>>(data, universe));
+  {
+    typename GridIndex<D>::Params p;
+    p.partitions_per_dim = 20;
+    p.assignment = GridAssignment::kQueryExtension;
+    v.push_back(std::make_unique<GridIndex<D>>(data, universe, p));
+  }
+  {
+    typename GridIndex<D>::Params p;
+    p.partitions_per_dim = 20;
+    p.assignment = GridAssignment::kReplication;
+    v.push_back(std::make_unique<GridIndex<D>>(data, universe, p));
+  }
+  {
+    typename MosaicIndex<D>::Params p;
+    p.leaf_capacity = 256;
+    v.push_back(std::make_unique<MosaicIndex<D>>(data, universe, p));
+  }
+  v.push_back(std::make_unique<RTreeIndex<D>>(data));
+  {
+    typename QuasiiIndex<D>::Params p;
+    p.leaf_threshold = 256;
+    v.push_back(std::make_unique<QuasiiIndex<D>>(data, p));
+  }
+  return v;
+}
+
+template <int D>
+void CheckAllAgainstScan(const quasii::Dataset<D>& data,
+                         const quasii::Box<D>& universe,
+                         const std::vector<quasii::Box<D>>& queries,
+                         const char* label) {
+  ScanIndex<D> scan(data);
+  auto challengers = MakeChallengers<D>(data, universe);
+  for (auto& index : challengers) index->Build();
+
+  std::vector<ObjectId> want, got;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    want.clear();
+    scan.Query(queries[qi], &want);
+    std::sort(want.begin(), want.end());
+    for (auto& index : challengers) {
+      got.clear();
+      index->Query(queries[qi], &got);
+      std::sort(got.begin(), got.end());
+      if (got != want) {
+        std::fprintf(stderr, "[%s] %s disagrees with Scan on query %zu "
+                             "(got %zu ids, want %zu)\n",
+                     label, std::string(index->name()).c_str(), qi,
+                     got.size(), want.size());
+        CHECK(got == want);
+      }
+    }
+  }
+}
+
+/// ~50 uniform + ~50 clustered queries, the mix the paper evaluates.
+template <int D>
+std::vector<quasii::Box<D>> MixedWorkload(const quasii::Box<D>& universe,
+                                          const quasii::Dataset<D>& data,
+                                          double selectivity,
+                                          std::uint64_t seed) {
+  quasii::datagen::UniformQueryParams up;
+  up.count = 50;
+  up.selectivity = selectivity;
+  up.seed = seed;
+  std::vector<quasii::Box<D>> queries =
+      quasii::datagen::MakeUniformQueries(universe, up);
+  quasii::datagen::ClusteredQueryParams cp;
+  cp.clusters = 5;
+  cp.queries_per_cluster = 10;
+  cp.selectivity = selectivity;
+  cp.seed = seed + 1;
+  const std::vector<quasii::Box<D>> clustered =
+      quasii::datagen::MakeClusteredQueries(universe, data, cp);
+  queries.insert(queries.end(), clustered.begin(), clustered.end());
+  return queries;
+}
+
+void TestUniformDatasetEquivalence() {
+  quasii::datagen::UniformDatasetParams p;
+  p.count = 20000;
+  const Dataset3 data = quasii::datagen::MakeUniformDataset(p);
+  const Box3 universe = quasii::datagen::UniformUniverse(p);
+  const auto queries = MixedWorkload<3>(universe, data, 1e-3, 9);
+  CheckAllAgainstScan<3>(data, universe, queries, "uniform");
+}
+
+void TestNeuroDatasetEquivalence() {
+  quasii::datagen::NeuroDatasetParams p;
+  p.count = 20000;
+  const Dataset3 data = quasii::datagen::MakeNeuroDataset(p);
+  const Box3 universe = quasii::datagen::NeuroUniverse(p);
+  const auto queries = MixedWorkload<3>(universe, data, 1e-3, 17);
+  CheckAllAgainstScan<3>(data, universe, queries, "neuro");
+}
+
+void TestRandomBoxes2dEquivalence() {
+  Rng rng(29);
+  Box2 universe;
+  for (int d = 0; d < 2; ++d) {
+    universe.lo[d] = -500;
+    universe.hi[d] = 500;
+  }
+  const Dataset2 data =
+      quasii::datagen::MakeRandomBoxes<2>(15000, universe, 12.0f, &rng);
+  const auto queries = MixedWorkload<2>(universe, data, 1e-3, 31);
+  CheckAllAgainstScan<2>(data, universe, queries, "random2d");
+}
+
+void TestDegenerateDatasets() {
+  // Empty dataset: no index may crash or return anything.
+  const Dataset3 empty;
+  Box3 universe;
+  for (int d = 0; d < 3; ++d) {
+    universe.lo[d] = 0;
+    universe.hi[d] = 100;
+  }
+  Box3 q;
+  for (int d = 0; d < 3; ++d) {
+    q.lo[d] = 10;
+    q.hi[d] = 20;
+  }
+  for (auto& index : MakeChallengers<3>(empty, universe)) {
+    index->Build();
+    std::vector<ObjectId> got;
+    index->Query(q, &got);
+    CHECK(got.empty());
+  }
+
+  // All-identical boxes: stresses duplicate-key handling (QUASII freezing,
+  // Mosaic's depth cap).
+  Dataset3 dup;
+  Box3 b;
+  for (int d = 0; d < 3; ++d) {
+    b.lo[d] = 40;
+    b.hi[d] = 42;
+  }
+  for (int i = 0; i < 5000; ++i) dup.push_back(b);
+  const auto queries = MixedWorkload<3>(universe, dup, 1e-2, 43);
+  CheckAllAgainstScan<3>(dup, universe, queries, "duplicates");
+}
+
+}  // namespace
+
+int main() {
+  RUN_TEST(TestUniformDatasetEquivalence);
+  RUN_TEST(TestNeuroDatasetEquivalence);
+  RUN_TEST(TestRandomBoxes2dEquivalence);
+  RUN_TEST(TestDegenerateDatasets);
+  return 0;
+}

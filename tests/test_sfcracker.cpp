@@ -1,0 +1,132 @@
+// SFCracker invariant tests: crack boundaries must exactly partition the
+// Z-code array after arbitrary query sequences, and query results must match
+// the scan baseline.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "datagen/queries.h"
+#include "datagen/synthetic.h"
+#include "geometry/box.h"
+#include "scan/scan_index.h"
+#include "sfc/sfcracker_index.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using quasii::Box3;
+using quasii::Dataset3;
+using quasii::ObjectId;
+using quasii::Point3;
+using quasii::Rng;
+using quasii::ScanIndex;
+using quasii::SfcrackerIndex;
+using quasii::ZEntry;
+
+Box3 TestUniverse() {
+  Box3 u;
+  for (int d = 0; d < 3; ++d) {
+    u.lo[d] = 0;
+    u.hi[d] = 1000;
+  }
+  return u;
+}
+
+/// After any sequence of cracks, every learned boundary (v -> pos) must
+/// split the entry array into `code < v` before `pos` and `code >= v` from
+/// `pos` on. With positions monotone in the boundary values this is
+/// equivalent to: each segment between adjacent boundaries holds exactly the
+/// codes in the corresponding value interval — checkable in one pass.
+void CheckBoundaryInvariants(const SfcrackerIndex<3>& index) {
+  const std::vector<ZEntry>& entries = index.entries();
+  std::size_t seg_begin = 0;
+  std::uint64_t seg_lo = 0;  // codes in the segment are in [seg_lo, value)
+  for (const auto& [value, pos] : index.boundaries()) {
+    CHECK_LE(pos, entries.size());
+    CHECK_GE(pos, seg_begin);
+    for (std::size_t i = seg_begin; i < pos; ++i) {
+      CHECK_GE(static_cast<std::uint64_t>(entries[i].code), seg_lo);
+      CHECK_LT(entries[i].code, value);
+    }
+    seg_begin = pos;
+    seg_lo = value;
+  }
+  for (std::size_t i = seg_begin; i < entries.size(); ++i) {
+    CHECK_GE(static_cast<std::uint64_t>(entries[i].code), seg_lo);
+  }
+}
+
+void TestCrackBoundariesAfterQueries() {
+  Rng rng(101);
+  const Box3 universe = TestUniverse();
+  const Dataset3 data =
+      quasii::datagen::MakeRandomBoxes<3>(5000, universe, 8.0f, &rng);
+  SfcrackerIndex<3> cracker(data, universe);
+  ScanIndex<3> scan(data);
+
+  quasii::datagen::UniformQueryParams qp;
+  qp.count = 60;
+  qp.selectivity = 1e-3;
+  qp.seed = 5;
+  const std::vector<Box3> queries =
+      quasii::datagen::MakeUniformQueries(universe, qp);
+
+  std::vector<ObjectId> got, want;
+  for (const Box3& q : queries) {
+    got.clear();
+    want.clear();
+    cracker.Query(q, &got);
+    scan.Query(q, &want);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    CHECK(got == want);
+    CheckBoundaryInvariants(cracker);
+  }
+  CHECK(cracker.initialized());
+  CHECK_GT(cracker.num_boundaries(), 0u);
+  // Cracking reorders but never loses or duplicates entries.
+  CHECK_EQ(cracker.entries().size(), data.size());
+  std::vector<bool> seen(data.size(), false);
+  for (const ZEntry& e : cracker.entries()) {
+    CHECK_LT(e.id, data.size());
+    CHECK(!seen[e.id]);
+    seen[e.id] = true;
+  }
+}
+
+void TestRepeatedQueryAddsNoCracks() {
+  Rng rng(13);
+  const Box3 universe = TestUniverse();
+  const Dataset3 data =
+      quasii::datagen::MakeRandomBoxes<3>(3000, universe, 5.0f, &rng);
+  SfcrackerIndex<3> cracker(data, universe);
+
+  Box3 q;
+  for (int d = 0; d < 3; ++d) {
+    q.lo[d] = 400;
+    q.hi[d] = 500;
+  }
+  std::vector<ObjectId> first, second;
+  cracker.Query(q, &first);
+  const std::size_t boundaries_after_first = cracker.num_boundaries();
+  const auto cracks_after_first = cracker.stats().cracks;
+  cracker.Query(q, &second);
+  // The same query re-uses all of its boundaries: no new cracks.
+  CHECK_EQ(cracker.num_boundaries(), boundaries_after_first);
+  CHECK_EQ(cracker.stats().cracks, cracks_after_first);
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  CHECK(first == second);
+}
+
+}  // namespace
+
+int main() {
+  RUN_TEST(TestCrackBoundariesAfterQueries);
+  RUN_TEST(TestRepeatedQueryAddsNoCracks);
+  return 0;
+}

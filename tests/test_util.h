@@ -1,0 +1,47 @@
+#ifndef QUASII_TESTS_TEST_UTIL_H_
+#define QUASII_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+// Assertion-style test support: CHECK* abort the binary with a message, so
+// ctest reports the failing binary and line. No framework dependency.
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CHECK_OP(a, op, b)                                                \
+  do {                                                                    \
+    const auto va_ = (a);                                                 \
+    const auto vb_ = (b);                                                 \
+    if (!(va_ op vb_)) {                                                  \
+      std::ostringstream oss_;                                            \
+      oss_ << va_ << " vs " << vb_;                                       \
+      std::fprintf(stderr, "%s:%d: CHECK failed: %s %s %s (%s)\n",        \
+                   __FILE__, __LINE__, #a, #op, #b, oss_.str().c_str());  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CHECK_EQ(a, b) CHECK_OP(a, ==, b)
+#define CHECK_NE(a, b) CHECK_OP(a, !=, b)
+#define CHECK_LT(a, b) CHECK_OP(a, <, b)
+#define CHECK_LE(a, b) CHECK_OP(a, <=, b)
+#define CHECK_GT(a, b) CHECK_OP(a, >, b)
+#define CHECK_GE(a, b) CHECK_OP(a, >=, b)
+
+#define RUN_TEST(fn)                           \
+  do {                                         \
+    std::printf("[ RUN  ] %s\n", #fn);         \
+    fn();                                      \
+    std::printf("[ OK   ] %s\n", #fn);         \
+  } while (0)
+
+#endif  // QUASII_TESTS_TEST_UTIL_H_

@@ -1,0 +1,193 @@
+// Unit tests for the Z-order toolkit: encode/decode roundtrips, BigMin and
+// LitMax against brute force, and ZRangeDecomposer exactness.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "zorder/bigmin.h"
+#include "zorder/decompose.h"
+#include "zorder/zorder.h"
+
+namespace {
+
+using quasii::Rng;
+using quasii::zorder::BigMin;
+using quasii::zorder::LitMax;
+using quasii::zorder::ZCode;
+using quasii::zorder::ZInterval;
+using quasii::zorder::ZRangeDecomposer;
+using quasii::zorder::ZTraits;
+
+template <int D>
+using Cells = std::array<std::uint32_t, D>;
+
+template <int D>
+constexpr std::uint32_t MaxCoord() {
+  return (std::uint32_t{1} << ZTraits<D>::kBitsPerDim) - 1;
+}
+
+void TestEncodeDecodeRoundtrip() {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    Cells<2> c2{static_cast<std::uint32_t>(rng.UniformInt(0, MaxCoord<2>())),
+                static_cast<std::uint32_t>(rng.UniformInt(0, MaxCoord<2>()))};
+    CHECK(ZTraits<2>::Decode(ZTraits<2>::Encode(c2)) == c2);
+    Cells<3> c3{static_cast<std::uint32_t>(rng.UniformInt(0, MaxCoord<3>())),
+                static_cast<std::uint32_t>(rng.UniformInt(0, MaxCoord<3>())),
+                static_cast<std::uint32_t>(rng.UniformInt(0, MaxCoord<3>()))};
+    CHECK(ZTraits<3>::Decode(ZTraits<3>::Encode(c3)) == c3);
+  }
+}
+
+void TestEncodeOrderWithinDim() {
+  // Along a single axis (others fixed at 0), the Z-code is monotone.
+  ZCode prev = ZTraits<3>::Encode(Cells<3>{0, 0, 0});
+  for (std::uint32_t x = 1; x <= MaxCoord<3>(); ++x) {
+    const ZCode code = ZTraits<3>::Encode(Cells<3>{x, 0, 0});
+    CHECK_GT(code, prev);
+    prev = code;
+  }
+}
+
+/// All Z-codes of the cells inside the rectangle, sorted.
+template <int D>
+std::vector<ZCode> RectCodes(const Cells<D>& lo, const Cells<D>& hi) {
+  std::vector<ZCode> codes;
+  Cells<D> c = lo;
+  while (true) {
+    codes.push_back(ZTraits<D>::Encode(c));
+    int d = 0;
+    for (; d < D; ++d) {
+      if (++c[static_cast<size_t>(d)] <= hi[static_cast<size_t>(d)]) break;
+      c[static_cast<size_t>(d)] = lo[static_cast<size_t>(d)];
+    }
+    if (d == D) break;
+  }
+  std::sort(codes.begin(), codes.end());
+  return codes;
+}
+
+/// Random rectangle with sides <= 7 cells anywhere in the grid (small sides
+/// keep the brute-force enumeration cheap; positions span the full range).
+template <int D>
+void RandomRect(Rng* rng, Cells<D>* lo, Cells<D>* hi) {
+  for (int d = 0; d < D; ++d) {
+    const auto a = static_cast<std::uint32_t>(
+        rng->UniformInt(0, static_cast<std::int64_t>(MaxCoord<D>())));
+    const auto side = static_cast<std::uint32_t>(rng->UniformInt(0, 7));
+    (*lo)[static_cast<size_t>(d)] = a;
+    (*hi)[static_cast<size_t>(d)] = std::min(a + side, MaxCoord<D>());
+  }
+}
+
+template <int D>
+void TestBigMinLitMaxAgainstBruteForce() {
+  Rng rng(11 + D);
+  for (int iter = 0; iter < 200; ++iter) {
+    Cells<D> lo, hi;
+    RandomRect<D>(&rng, &lo, &hi);
+    const std::vector<ZCode> codes = RectCodes<D>(lo, hi);
+    const ZCode zmin = ZTraits<D>::Encode(lo);
+    const ZCode zmax = ZTraits<D>::Encode(hi);
+    CHECK_EQ(codes.front(), zmin);
+    CHECK_EQ(codes.back(), zmax);
+
+    for (int probe = 0; probe < 50; ++probe) {
+      const ZCode z = static_cast<ZCode>(rng.UniformInt(
+          0, std::min<std::int64_t>(static_cast<std::int64_t>(zmax) + 2,
+                                    0xFFFFFFFFll)));
+      const auto bigmin = BigMin<D>(z, zmin, zmax);
+      const auto above = std::upper_bound(codes.begin(), codes.end(), z);
+      if (above == codes.end()) {
+        CHECK(!bigmin.has_value());
+      } else {
+        CHECK(bigmin.has_value());
+        CHECK_EQ(*bigmin, *above);
+      }
+      const auto litmax = LitMax<D>(z, zmin, zmax);
+      const auto lower = std::lower_bound(codes.begin(), codes.end(), z);
+      if (lower == codes.begin()) {
+        CHECK(!litmax.has_value());
+      } else {
+        CHECK(litmax.has_value());
+        CHECK_EQ(*litmax, *std::prev(lower));
+      }
+    }
+  }
+}
+
+template <int D>
+void TestDecomposeExact() {
+  Rng rng(23 + D);
+  for (int iter = 0; iter < 100; ++iter) {
+    Cells<D> lo, hi;
+    RandomRect<D>(&rng, &lo, &hi);
+    std::vector<ZInterval> intervals;
+    ZRangeDecomposer<D>::Decompose(lo, hi, /*max_intervals=*/0, &intervals);
+
+    CHECK(!intervals.empty());
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      CHECK_LE(intervals[i].lo, intervals[i].hi);
+      if (i > 0) {
+        // Sorted, disjoint, and non-adjacent (adjacent ranges are merged).
+        CHECK_GT(static_cast<std::uint64_t>(intervals[i].lo),
+                 static_cast<std::uint64_t>(intervals[i - 1].hi) + 1);
+      }
+      covered += static_cast<std::uint64_t>(intervals[i].hi) -
+                 static_cast<std::uint64_t>(intervals[i].lo) + 1;
+    }
+    // With an unbounded budget the union is exactly the rectangle's cells.
+    const std::vector<ZCode> codes = RectCodes<D>(lo, hi);
+    CHECK_EQ(covered, codes.size());
+    for (const ZCode code : codes) {
+      const auto it = std::upper_bound(
+          intervals.begin(), intervals.end(), code,
+          [](ZCode v, const ZInterval& iv) { return v < iv.lo; });
+      CHECK(it != intervals.begin());
+      CHECK_GE(code, std::prev(it)->lo);
+      CHECK_LE(code, std::prev(it)->hi);
+    }
+  }
+}
+
+template <int D>
+void TestDecomposeBudgetIsSuperset() {
+  Rng rng(37 + D);
+  for (int iter = 0; iter < 50; ++iter) {
+    Cells<D> lo, hi;
+    RandomRect<D>(&rng, &lo, &hi);
+    std::vector<ZInterval> bounded;
+    ZRangeDecomposer<D>::Decompose(lo, hi, /*max_intervals=*/4, &bounded);
+    // Budgeted output must still cover every cell of the rectangle.
+    for (const ZCode code : RectCodes<D>(lo, hi)) {
+      bool found = false;
+      for (const ZInterval& iv : bounded) {
+        if (code >= iv.lo && code <= iv.hi) {
+          found = true;
+          break;
+        }
+      }
+      CHECK(found);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  RUN_TEST(TestEncodeDecodeRoundtrip);
+  RUN_TEST(TestEncodeOrderWithinDim);
+  RUN_TEST(TestBigMinLitMaxAgainstBruteForce<2>);
+  RUN_TEST(TestBigMinLitMaxAgainstBruteForce<3>);
+  RUN_TEST(TestDecomposeExact<2>);
+  RUN_TEST(TestDecomposeExact<3>);
+  RUN_TEST(TestDecomposeBudgetIsSuperset<2>);
+  RUN_TEST(TestDecomposeBudgetIsSuperset<3>);
+  return 0;
+}

@@ -91,7 +91,11 @@ inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
     p.selectivity = config.selectivity;
     p.seed = config.seed + 1;
     *queries = datagen::MakeClusteredQueries(*universe, *data, p);
-    queries->resize(static_cast<std::size_t>(config.queries));
+    // Trim the rounded-up cluster output. Clamp instead of a blind resize: a
+    // resize past the generated count would *enlarge* the workload with
+    // default-constructed (empty) query boxes.
+    const std::size_t want = static_cast<std::size_t>(config.queries);
+    if (queries->size() > want) queries->resize(want);
   } else {
     datagen::UniformQueryParams p;
     p.count = config.queries;
@@ -110,7 +114,10 @@ inline IndexRun RunIndex(SpatialIndex<3>* index,
   run.build_ms = build_timer.Millis();
   index->ResetStats();
 
+  // Pre-size both vectors so reallocation never lands inside a timed query.
+  run.latencies_ms.reserve(queries.size());
   std::vector<ObjectId> result;
+  result.reserve(4096);
   for (const Box3& q : queries) {
     result.clear();
     Timer t;

@@ -1,0 +1,109 @@
+// Perf-trajectory microbenchmark: QUASII / SFCracker / Scan over the §6.1
+// configurations at n = 2^min .. 2^max, emitting the BENCH_quasii.json
+// report (first-query cost, per-query convergence curve, cumulative
+// crack/move counters, total query time) that perf PRs diff against.
+//
+// Examples:
+//   quasii_microbench                          # full run, BENCH_quasii.json
+//   quasii_microbench --min-exp=13 --max-exp=14 --queries=200  # CI-sized run
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/microbench/microbench.h"
+
+namespace {
+
+using quasii::bench::MicrobenchOptions;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: quasii_microbench [--min-exp=E] [--max-exp=E]\n"
+               "                         [--queries=COUNT] [--seed=SEED]\n"
+               "                         [--workloads=uniform,clustered]\n"
+               "                         [--out=PATH]\n"
+               "defaults: n = 2^17..2^20, 1000 queries, both workloads,\n"
+               "          report written to BENCH_quasii.json\n");
+}
+
+bool ParseArg(const std::string& arg, MicrobenchOptions* options,
+              std::string* out_path) {
+  const std::size_t eq = arg.find('=');
+  if (arg.rfind("--", 0) != 0 || eq == std::string::npos) return false;
+  const std::string key = arg.substr(2, eq - 2);
+  const std::string value = arg.substr(eq + 1);
+  if (key == "min-exp") {
+    options->min_exp = std::atoi(value.c_str());
+  } else if (key == "max-exp") {
+    options->max_exp = std::atoi(value.c_str());
+  } else if (key == "queries") {
+    options->queries = std::atoi(value.c_str());
+  } else if (key == "seed") {
+    options->seed = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "workloads") {
+    options->workloads.clear();
+    std::size_t start = 0;
+    while (start < value.size()) {
+      const std::size_t comma = value.find(',', start);
+      const std::size_t end = comma == std::string::npos ? value.size() : comma;
+      if (end > start) {
+        const std::string w = value.substr(start, end - start);
+        if (w != "uniform" && w != "clustered") return false;
+        options->workloads.push_back(w);
+      }
+      start = end + 1;
+    }
+  } else if (key == "out") {
+    *out_path = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MicrobenchOptions options;
+  std::string out_path = "BENCH_quasii.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (!ParseArg(arg, &options, &out_path)) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.min_exp < 1 || options.max_exp < options.min_exp ||
+      options.max_exp > 30) {
+    std::fprintf(stderr,
+                 "--min-exp/--max-exp must satisfy 1 <= min <= max <= 30\n");
+    return 2;
+  }
+  if (options.queries <= 0) {
+    std::fprintf(stderr, "--queries must be positive\n");
+    return 2;
+  }
+
+  const std::string report = quasii::bench::RunMicrobench(options);
+  if (out_path == "-") {
+    std::cout << report << std::endl;
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << report << '\n';
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

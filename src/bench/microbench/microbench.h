@@ -1,0 +1,199 @@
+#ifndef QUASII_BENCH_MICROBENCH_MICROBENCH_H_
+#define QUASII_BENCH_MICROBENCH_MICROBENCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench.h"
+#include "bench/json.h"
+#include "common/dataset.h"
+#include "common/spatial_index.h"
+#include "common/timer.h"
+#include "geometry/box.h"
+#include "quasii/quasii_index.h"
+#include "scan/scan_index.h"
+#include "sfc/sfcracker_index.h"
+
+namespace quasii::bench {
+
+/// The perf-trajectory microbenchmark: the two incremental indexes (QUASII,
+/// SFCracker) plus the Scan baseline over the Section 6.1 configurations at
+/// n = 2^min_exp .. 2^max_exp. Its `BENCH_quasii.json` report is the
+/// baseline every perf PR diffs against: first-query cost, the per-query
+/// convergence curve, cumulative crack/move counters, and total query time.
+struct MicrobenchOptions {
+  int min_exp = 17;
+  int max_exp = 20;
+  int queries = 1000;
+  std::uint64_t seed = 1;
+  /// Subset of {"uniform", "clustered"}; both when empty.
+  std::vector<std::string> workloads;
+};
+
+/// One point of an index's convergence curve, sampled at geometrically
+/// spaced query counts (1, 2, 4, ..., total) so early refinement and steady
+/// state are both visible at a glance.
+struct ConvergencePoint {
+  int query = 0;  // 1-based index of the query just executed
+  double cumulative_ms = 0;
+  std::uint64_t cumulative_cracks = 0;
+  std::uint64_t cumulative_objects_moved = 0;
+};
+
+/// Per-index microbench measurement (a superset of `IndexRun`'s fields,
+/// shaped for convergence analysis instead of raw latency dumps).
+struct MicroRun {
+  std::string name;
+  double build_ms = 0;
+  double first_query_ms = 0;
+  double total_query_ms = 0;
+  /// Mean latency over the last 10% of queries — the converged cost.
+  double steady_tail_mean_ms = 0;
+  std::uint64_t result_objects = 0;
+  QueryStats cumulative;
+  std::vector<ConvergencePoint> convergence;
+};
+
+/// The microbench roster: the §6.3 incremental-index comparison plus the
+/// index-less baseline.
+inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeMicrobenchRoster(
+    const Dataset3& data, const Box3& universe) {
+  std::vector<std::unique_ptr<SpatialIndex<3>>> roster;
+  roster.push_back(std::make_unique<ScanIndex<3>>(data));
+  roster.push_back(std::make_unique<SfcrackerIndex<3>>(data, universe));
+  roster.push_back(std::make_unique<QuasiiIndex<3>>(data));
+  return roster;
+}
+
+inline MicroRun RunMicro(SpatialIndex<3>* index,
+                         const std::vector<Box3>& queries) {
+  MicroRun run;
+  run.name = std::string(index->name());
+  Timer build_timer;
+  index->Build();
+  run.build_ms = build_timer.Millis();
+  index->ResetStats();
+
+  std::vector<ObjectId> result;
+  result.reserve(4096);
+  int next_sample = 1;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    result.clear();
+    Timer t;
+    index->Query(queries[i], &result);
+    const double ms = t.Millis();
+    run.total_query_ms += ms;
+    run.result_objects += result.size();
+    if (i == 0) run.first_query_ms = ms;
+    const int done = static_cast<int>(i) + 1;
+    if (done == next_sample || i + 1 == queries.size()) {
+      ConvergencePoint p;
+      p.query = done;
+      p.cumulative_ms = run.total_query_ms;
+      p.cumulative_cracks = index->stats().cracks;
+      p.cumulative_objects_moved = index->stats().objects_moved;
+      run.convergence.push_back(p);
+      while (next_sample <= done) next_sample *= 2;
+    }
+  }
+
+  run.cumulative = index->stats();
+  // Converged per-query cost: repeat the last 10% of the workload once more.
+  // Those regions are fully refined now, so this measures steady state
+  // without polluting the totals or counters recorded above.
+  const std::size_t tail = std::max<std::size_t>(1, queries.size() / 10);
+  double tail_ms = 0;
+  for (std::size_t i = queries.size() - tail; i < queries.size(); ++i) {
+    result.clear();
+    Timer t;
+    index->Query(queries[i], &result);
+    tail_ms += t.Millis();
+  }
+  run.steady_tail_mean_ms = tail_ms / static_cast<double>(tail);
+  return run;
+}
+
+inline void WriteMicroRun(JsonWriter* w, const MicroRun& run) {
+  w->BeginObject();
+  w->Key("index").String(run.name);
+  w->Key("build_ms").Double(run.build_ms);
+  w->Key("first_query_ms").Double(run.first_query_ms);
+  w->Key("total_query_ms").Double(run.total_query_ms);
+  w->Key("steady_tail_mean_ms").Double(run.steady_tail_mean_ms);
+  w->Key("result_objects").Uint(run.result_objects);
+  w->Key("cumulative_stats");
+  WriteStats(w, run.cumulative);
+  w->Key("convergence").BeginArray();
+  for (const ConvergencePoint& p : run.convergence) {
+    w->BeginObject();
+    w->Key("query").Uint(static_cast<std::uint64_t>(p.query));
+    w->Key("cumulative_ms").Double(p.cumulative_ms);
+    w->Key("cumulative_cracks").Uint(p.cumulative_cracks);
+    w->Key("cumulative_objects_moved").Uint(p.cumulative_objects_moved);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+/// Runs the full microbench matrix and returns the BENCH_quasii.json report.
+inline std::string RunMicrobench(const MicrobenchOptions& options) {
+  std::vector<std::string> workloads = options.workloads;
+  if (workloads.empty()) workloads = {"uniform", "clustered"};
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("quasii-microbench-v1");
+  w.Key("options").BeginObject();
+  w.Key("min_exp").Int(options.min_exp);
+  w.Key("max_exp").Int(options.max_exp);
+  w.Key("queries").Int(options.queries);
+  w.Key("seed").Uint(options.seed);
+  w.EndObject();
+
+  w.Key("configs").BeginArray();
+  for (const std::string& workload : workloads) {
+    for (int e = options.min_exp; e <= options.max_exp; ++e) {
+      BenchConfig config;
+      config.dataset = "uniform";
+      config.workload = workload;
+      config.n = std::size_t{1} << e;
+      config.queries = options.queries;
+      // Paper selectivities: 0.1% for the uniform workload (§6.6), 10^-2 %
+      // for the clustered default (§6.1).
+      config.selectivity = workload == "clustered" ? 1e-4 : 1e-3;
+      config.seed = options.seed;
+
+      Dataset3 data;
+      Box3 universe;
+      std::vector<Box3> queries;
+      MakeBenchInputs(config, &data, &universe, &queries);
+
+      w.BeginObject();
+      w.Key("dataset").String(config.dataset);
+      w.Key("workload").String(config.workload);
+      w.Key("n").Uint(data.size());
+      w.Key("queries").Uint(queries.size());
+      w.Key("selectivity").Double(config.selectivity);
+      w.Key("seed").Uint(config.seed);
+      w.Key("results").BeginArray();
+      auto roster = MakeMicrobenchRoster(data, universe);
+      for (const auto& index : roster) {
+        const MicroRun run = RunMicro(index.get(), queries);
+        WriteMicroRun(&w, run);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace quasii::bench
+
+#endif  // QUASII_BENCH_MICROBENCH_MICROBENCH_H_

@@ -1,0 +1,257 @@
+#ifndef QUASII_COMMON_CRACK_ARRAY_H_
+#define QUASII_COMMON_CRACK_ARRAY_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/dataset.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// Partition of `keys[begin, end)` so that every element with
+/// `pred(key) == true` precedes every element with `pred(key) == false`,
+/// calling `swap_rows(i, j)` for each exchanged pair so companion columns
+/// stay aligned with the key column. `swap_rows` MUST swap the key column
+/// itself as well. Returns the split position.
+///
+/// This is the one tuned reorganization primitive every incremental index
+/// (QUASII slices, SFCracker pieces) is built on: the comparison loop
+/// touches only the dense key column, and full rows are exchanged only for
+/// the elements that actually change sides — the cache behaviour database
+/// cracking depends on [Idreos et al., 18]. Large ranges use a
+/// BlockQuicksort-style scheme [Edelkamp & Weiß]: misplaced-element offsets
+/// are gathered per block with branchless conditional increments, then
+/// exchanged pairwise — a median-positioned crack predicate is a coin flip
+/// per element, and data-dependent branches there mispredict half the time.
+template <typename Key, typename Pred, typename SwapRows>
+std::size_t CrackPartition(const Key* keys, std::size_t begin, std::size_t end,
+                           Pred pred, SwapRows swap_rows) {
+  constexpr std::size_t kBlock = 128;
+  std::size_t lo = begin;
+  std::size_t hi = end;
+
+  // Blocked phase: gather the offsets of elements on the wrong side of each
+  // boundary block (stores are unconditional, counters advance via setcc —
+  // no data-dependent branch), then swap the pairs.
+  unsigned char offs_l[kBlock];
+  unsigned char offs_r[kBlock];
+  std::size_t nl = 0;  // pending misplaced elements in the left block
+  std::size_t nr = 0;  // pending misplaced elements in the right block
+  std::size_t il = 0;
+  std::size_t ir = 0;
+  while (hi - lo > 2 * kBlock) {
+    if (nl == 0) {
+      il = 0;
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        offs_l[nl] = static_cast<unsigned char>(i);
+        nl += !pred(keys[lo + i]);
+      }
+    }
+    if (nr == 0) {
+      ir = 0;
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        offs_r[nr] = static_cast<unsigned char>(i + 1);
+        nr += pred(keys[hi - 1 - i]);
+      }
+    }
+    const std::size_t m = nl < nr ? nl : nr;
+    for (std::size_t i = 0; i < m; ++i) {
+      swap_rows(lo + offs_l[il + i], hi - offs_r[ir + i]);
+    }
+    nl -= m;
+    nr -= m;
+    il += m;
+    ir += m;
+    // A fully fixed block retires; `lo`/`hi` stay pinned to a block with
+    // pending offsets (at most one side can have any).
+    if (nl == 0) lo += kBlock;
+    if (nr == 0) hi -= kBlock;
+  }
+
+  // Scalar tail: the remaining window (including at most one partially
+  // fixed block, which re-scans harmlessly) is small.
+  while (true) {
+    while (lo < hi && pred(keys[lo])) ++lo;
+    while (lo < hi && !pred(keys[hi - 1])) --hi;
+    if (lo >= hi) break;
+    // keys[lo] fails the predicate, keys[hi - 1] passes it: exchange.
+    swap_rows(lo, hi - 1);
+    ++lo;
+    --hi;
+  }
+  return lo;
+}
+
+/// Structure-of-arrays storage for an incrementally reorganized spatial
+/// collection: per-dimension centre-key columns (the crack keys), per-
+/// dimension MBB bound columns (`lo`/`hi`, the exact-filter data), and the
+/// id column, all permuted in lockstep; the boxes themselves stay in the
+/// caller's dataset and are only consulted through `box()` (cold paths).
+///
+/// The layout serves the two hot loops of an incremental index:
+///  - cracking comparators read a dense 4-byte key instead of loading a
+///    whole `Entry<D>` struct and recomputing `(lo + hi) / 2`, and rows are
+///    exchanged only for elements that actually change sides;
+///  - leaf scans test the dense bound columns dimension-by-dimension in
+///    branchless, auto-vectorizable passes — `lo[d] <= q.hi[d] &&
+///    hi[d] >= q.lo[d]` per dimension is exactly `Box::Intersects`, so
+///    survivors are true results and no box is ever materialized.
+template <int D>
+class CrackArray {
+ public:
+  CrackArray() = default;
+  explicit CrackArray(const Dataset<D>& data) { Reset(data); }
+
+  /// (Re)builds the columns from `data`, restoring dataset order. The
+  /// dataset must outlive the array (the usual `SpatialIndex` contract).
+  void Reset(const Dataset<D>& data) {
+    data_ = &data;
+    const std::size_t n = data.size();
+    for (int d = 0; d < D; ++d) {
+      keys_[static_cast<std::size_t>(d)].resize(n);
+      los_[static_cast<std::size_t>(d)].resize(n);
+      his_[static_cast<std::size_t>(d)].resize(n);
+    }
+    ids_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids_[i] = static_cast<ObjectId>(i);
+      for (int d = 0; d < D; ++d) {
+        const std::size_t dd = static_cast<std::size_t>(d);
+        keys_[dd][i] = CenterKey(data[i], d);
+        los_[dd][i] = data[i].lo[d];
+        his_[dd][i] = data[i].hi[d];
+      }
+    }
+  }
+
+  /// The centre key every key column stores: identical arithmetic everywhere
+  /// so precomputed and recomputed keys agree bit-for-bit.
+  static Scalar CenterKey(const Box<D>& b, int d) {
+    return (b.lo[d] + b.hi[d]) / 2;
+  }
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  Scalar key(int d, std::size_t i) const {
+    return keys_[static_cast<std::size_t>(d)][i];
+  }
+  const std::vector<Scalar>& keys(int d) const {
+    return keys_[static_cast<std::size_t>(d)];
+  }
+  const std::vector<Scalar>& lo_col(int d) const {
+    return los_[static_cast<std::size_t>(d)];
+  }
+  const std::vector<Scalar>& hi_col(int d) const {
+    return his_[static_cast<std::size_t>(d)];
+  }
+  ObjectId id(std::size_t i) const { return ids_[i]; }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  /// The box of row `i`, fetched from the backing dataset (cold path: tests
+  /// and diagnostics; hot loops use the bound columns instead).
+  const Box<D>& box(std::size_t i) const { return (*data_)[ids_[i]]; }
+
+  /// One crack step: partitions `[begin, end)` so keys in dimension `d`
+  /// below `v` precede the rest, co-moving ids, bounds, and the sibling key
+  /// columns. Returns the split position.
+  std::size_t CrackOnAxis(std::size_t begin, std::size_t end, int d, Scalar v) {
+    return Partition(begin, end, d, [v](Scalar k) { return k < v; });
+  }
+
+  struct SplitResult {
+    /// Split position; `pos == end` means the range could not be split.
+    std::size_t pos = 0;
+    /// Value boundary between the halves: left keys are `< bound`, right
+    /// keys `>= bound`.
+    Scalar bound = 0;
+    /// Every key in the range is identical — the range cannot shrink by
+    /// cracking along `d` (the caller freezes the slice).
+    bool frozen = false;
+  };
+
+  /// Splits `[begin, end)` at (approximately) its median key in dimension
+  /// `d`. The pivot is the exact median of an evenly strided key sample
+  /// (the whole range when small), selected on a scratch copy of the floats,
+  /// then the rows are partitioned once at the pivot value — a near-halving
+  /// split at a fraction of an exact `nth_element` pass over the rows. If
+  /// the pivot is the minimum key the split lands above its duplicate run
+  /// instead, and a range of all-identical keys is reported `frozen`.
+  SplitResult MedianSplit(std::size_t begin, std::size_t end, int d) {
+    static constexpr std::size_t kMedianSample = 256;
+    const std::vector<Scalar>& col = keys_[static_cast<std::size_t>(d)];
+    const std::size_t len = end - begin;
+    if (len < 2) {
+      // Nothing to halve; report the range unsplittable.
+      SplitResult r;
+      r.pos = end;
+      if (len == 1) {
+        r.bound = std::nextafter(col[begin],
+                                 std::numeric_limits<Scalar>::infinity());
+      }
+      r.frozen = true;
+      return r;
+    }
+    scratch_.clear();
+    if (len <= 2 * kMedianSample) {
+      scratch_.assign(col.begin() + static_cast<std::ptrdiff_t>(begin),
+                      col.begin() + static_cast<std::ptrdiff_t>(end));
+    } else {
+      const std::size_t stride = len / kMedianSample;
+      for (std::size_t i = begin; i < end; i += stride) {
+        scratch_.push_back(col[i]);
+      }
+    }
+    const auto nth =
+        scratch_.begin() + static_cast<std::ptrdiff_t>(scratch_.size() / 2);
+    std::nth_element(scratch_.begin(), nth, scratch_.end());
+    const Scalar pivot = *nth;
+
+    SplitResult r;
+    r.pos = CrackOnAxis(begin, end, d, pivot);
+    r.bound = pivot;
+    if (r.pos == begin) {
+      // The pivot is the minimum key: split above its duplicate run.
+      r.pos =
+          Partition(begin, end, d, [pivot](Scalar k) { return k <= pivot; });
+      r.bound =
+          std::nextafter(pivot, std::numeric_limits<Scalar>::infinity());
+      r.frozen = r.pos == end;  // every key equals the pivot
+    }
+    return r;
+  }
+
+ private:
+  template <typename Pred>
+  std::size_t Partition(std::size_t begin, std::size_t end, int d, Pred pred) {
+    return CrackPartition(
+        keys_[static_cast<std::size_t>(d)].data(), begin, end, pred,
+        [this](std::size_t i, std::size_t j) { SwapRows(i, j); });
+  }
+
+  void SwapRows(std::size_t i, std::size_t j) {
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      std::swap(keys_[dd][i], keys_[dd][j]);
+      std::swap(los_[dd][i], los_[dd][j]);
+      std::swap(his_[dd][i], his_[dd][j]);
+    }
+    std::swap(ids_[i], ids_[j]);
+  }
+
+  const Dataset<D>* data_ = nullptr;
+  std::array<std::vector<Scalar>, D> keys_;
+  std::array<std::vector<Scalar>, D> los_;
+  std::array<std::vector<Scalar>, D> his_;
+  std::vector<ObjectId> ids_;
+  /// Reused by `MedianSplit` so pivot selection never reallocates.
+  std::vector<Scalar> scratch_;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_CRACK_ARRAY_H_

@@ -105,6 +105,7 @@ class GridIndex final : public SpatialIndex<D> {
   }
 
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (q.IsEmpty()) return;  // an empty box contains no points
     if (!built_) Build();
     const Dataset<D>& data = *data_;
     if (params_.assignment == GridAssignment::kQueryExtension) {

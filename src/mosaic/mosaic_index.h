@@ -53,6 +53,7 @@ class MosaicIndex final : public SpatialIndex<D> {
   void Build() override {}
 
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (q.IsEmpty()) return;  // inverted bounds must not trigger splits
     if (!initialized_) Initialize();
     Box<D> extended = q;
     for (int d = 0; d < D; ++d) {

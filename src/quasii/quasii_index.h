@@ -5,11 +5,13 @@
 #include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/crack_array.h"
 #include "common/dataset.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
@@ -38,6 +40,12 @@ namespace quasii {
 /// `SfcrackerIndex`: an entry is keyed by its MBB centre, queries are
 /// extended by half the maximum object extent per dimension, and candidates
 /// are filtered against the original query box.
+///
+/// Storage is the shared structure-of-arrays `CrackArray` core: cracks and
+/// median splits compare precomputed 4-byte keys instead of loading whole
+/// entry structs, and leaf scans run branchless vectorizable passes over the
+/// per-dimension bound columns (skipping dimensions the slice hierarchy has
+/// already proven to overlap) instead of box-at-a-time intersection tests.
 template <int D>
 class QuasiiIndex final : public SpatialIndex<D> {
  public:
@@ -47,7 +55,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
     std::size_t leaf_threshold = 1024;
   };
 
-  /// One slice: a contiguous range `[begin, end)` of the entry array whose
+  /// One slice: a contiguous range `[begin, end)` of the crack array whose
   /// centre keys along dimension `level` all lie in the half-open value
   /// interval `[lo, hi)`. Slices of level `D-1` are leaves; others hold
   /// child slices of the next level once a query has descended into them.
@@ -76,7 +84,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
     if (q.IsEmpty()) return;  // inverted bounds would corrupt slice order
     if (!initialized_) Initialize();
-    if (entries_.empty()) return;
+    if (array_.empty()) return;
     // Half-open extended query: `[lo, hi)` per dimension covers every centre
     // key of an object whose MBB can intersect `q` (centre-based assignment
     // plus half the maximum extent on both sides).
@@ -86,34 +94,30 @@ class QuasiiIndex final : public SpatialIndex<D> {
       ext.hi[d] = std::nextafter(q.hi[d] + half_extent_[d],
                                  std::numeric_limits<Scalar>::infinity());
     }
-    Visit(&root_, q, ext, result);
+    Visit(&root_, q, ext, 0u, result);
   }
 
   /// Structural accessors for tests and analyses.
   const std::vector<Slice>& root_slices() const { return root_; }
-  const std::vector<Entry<D>>& entries() const { return entries_; }
+  const CrackArray<D>& array() const { return array_; }
   std::size_t LevelThreshold(int level) const {
     return threshold_[static_cast<std::size_t>(level)];
   }
   bool initialized() const { return initialized_; }
 
  private:
-  static Scalar KeyOf(const Entry<D>& e, int d) {
-    return (e.box.lo[d] + e.box.hi[d]) / 2;
-  }
-
-  /// First-query work: copy the data into the reorganizable entry array and
-  /// derive the per-level thresholds and the query-extension amounts.
+  /// First-query work: build the structure-of-arrays columns and derive the
+  /// per-level thresholds and the query-extension amounts.
   void Initialize() {
-    entries_ = MakeEntries(*data_);
+    array_.Reset(*data_);
     half_extent_ = MaxExtents(*data_);
     for (int d = 0; d < D; ++d) half_extent_[d] /= 2;
-    ComputeThresholds(entries_.size());
+    ComputeThresholds(array_.size());
     root_.clear();
     Slice root;
     root.level = 0;
     root.begin = 0;
-    root.end = entries_.size();
+    root.end = array_.size();
     root.lo = -std::numeric_limits<Scalar>::infinity();
     root.hi = std::numeric_limits<Scalar>::infinity();
     root_.push_back(std::move(root));
@@ -136,25 +140,24 @@ class QuasiiIndex final : public SpatialIndex<D> {
 
   /// Two-sided partition of `[begin, end)` by `key < v` — one crack step.
   std::size_t CrackOnAxis(std::size_t begin, std::size_t end, int d, Scalar v) {
-    const auto mid = std::partition(
-        entries_.begin() + static_cast<std::ptrdiff_t>(begin),
-        entries_.begin() + static_cast<std::ptrdiff_t>(end),
-        [&](const Entry<D>& e) { return KeyOf(e, d) < v; });
+    const std::size_t pos = array_.CrackOnAxis(begin, end, d, v);
     ++this->stats_.cracks;
     this->stats_.objects_moved += end - begin;
-    return static_cast<std::size_t>(mid - entries_.begin());
+    return pos;
   }
 
   /// Refines an oversized slice against the query's `[lo, hi)` interval in
   /// the slice's dimension: cracks off the (coarse) parts before and after
   /// the query, then sub-slices the query-covered middle at median keys
-  /// until every piece obeys the level threshold. Returned pieces are
-  /// position- and value-ordered and exactly tile the input slice.
-  std::vector<Slice> Refine(Slice s, const Box<D>& ext) {
+  /// until every piece obeys the level threshold. The returned pieces are
+  /// position- and value-ordered, exactly tile the input slice, and live in
+  /// this level's scratch buffer (valid until the next same-level `Refine`).
+  std::vector<Slice>& Refine(Slice s, const Box<D>& ext) {
     const int d = s.level;
     const Scalar qlo = ext.lo[d];
     const Scalar qhi = ext.hi[d];
-    std::vector<Slice> out;
+    std::vector<Slice>& out = refine_scratch_[static_cast<std::size_t>(d)];
+    out.clear();
     if (qlo > s.lo) {
       const std::size_t pos = CrackOnAxis(s.begin, s.end, d, qlo);
       if (pos > s.begin) {
@@ -189,116 +192,172 @@ class QuasiiIndex final : public SpatialIndex<D> {
     return out;
   }
 
-  /// Recursively halves a slice at its median key until it is at most the
-  /// level threshold. A run of identical keys that cannot be halved is
+  /// Halves a slice at its median key until every piece is at most the level
+  /// threshold, iteratively via a reusable worklist (left-to-right emission
+  /// order, no recursion). A run of identical keys that cannot be halved is
   /// frozen and accepted oversized (it can still be sliced in later
   /// dimensions).
   void SplitToThreshold(Slice s, std::vector<Slice>* out) {
     if (s.size() == 0) return;
     const int d = s.level;
-    if (s.size() <= threshold_[static_cast<std::size_t>(d)]) {
-      out->push_back(std::move(s));
-      return;
-    }
-    const std::size_t mid = s.begin + s.size() / 2;
-    const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(s.begin);
-    const auto nth = entries_.begin() + static_cast<std::ptrdiff_t>(mid);
-    const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(s.end);
-    std::nth_element(first, nth, last,
-                     [&](const Entry<D>& a, const Entry<D>& b) {
-                       return KeyOf(a, d) < KeyOf(b, d);
-                     });
-    ++this->stats_.cracks;
-    this->stats_.objects_moved += s.size();
-    const Scalar pivot = KeyOf(entries_[mid], d);
-    // After nth_element every key below `mid` is <= pivot, so a strict
-    // partition of that prefix yields the exact `key < pivot` boundary.
-    std::size_t pos = static_cast<std::size_t>(
-        std::partition(first, nth,
-                       [&](const Entry<D>& e) { return KeyOf(e, d) < pivot; }) -
-        entries_.begin());
-    Scalar bound = pivot;
-    if (pos == s.begin) {
-      // The pivot is the minimum key: split above its duplicate run instead.
-      pos = static_cast<std::size_t>(
-          std::partition(
-              nth, last,
-              [&](const Entry<D>& e) { return KeyOf(e, d) <= pivot; }) -
-          entries_.begin());
-      bound =
-          std::nextafter(pivot, std::numeric_limits<Scalar>::infinity());
-      if (pos == s.end) {  // every key equals the pivot
-        s.frozen = true;
-        out->push_back(std::move(s));
-        return;
+    const std::size_t limit = threshold_[static_cast<std::size_t>(d)];
+    split_stack_.clear();
+    split_stack_.push_back(std::move(s));
+    while (!split_stack_.empty()) {
+      Slice t = std::move(split_stack_.back());
+      split_stack_.pop_back();
+      if (t.size() <= limit) {
+        out->push_back(std::move(t));
+        continue;
       }
+      const auto split = array_.MedianSplit(t.begin, t.end, d);
+      ++this->stats_.cracks;
+      this->stats_.objects_moved += t.size();
+      if (split.frozen) {
+        t.frozen = true;
+        out->push_back(std::move(t));
+        continue;
+      }
+      Slice left;
+      left.level = d;
+      left.begin = t.begin;
+      left.end = split.pos;
+      left.lo = t.lo;
+      left.hi = split.bound;
+      Slice rest;
+      rest.level = d;
+      rest.begin = split.pos;
+      rest.end = t.end;
+      rest.lo = split.bound;
+      rest.hi = t.hi;
+      // LIFO: push the right half first so the left half is processed (and
+      // emitted) before it.
+      split_stack_.push_back(std::move(rest));
+      split_stack_.push_back(std::move(left));
     }
-    Slice left;
-    left.level = d;
-    left.begin = s.begin;
-    left.end = pos;
-    left.lo = s.lo;
-    left.hi = bound;
-    Slice rest;
-    rest.level = d;
-    rest.begin = pos;
-    rest.end = s.end;
-    rest.lo = bound;
-    rest.hi = s.hi;
-    SplitToThreshold(std::move(left), out);
-    SplitToThreshold(std::move(rest), out);
   }
 
   /// Walks one level's slice list: skips slices outside the query, refines
-  /// oversized touched slices in place, and descends (or scans, at the leaf
-  /// level) the rest.
+  /// oversized touched slices, and descends (or scans, at the leaf level)
+  /// the rest. Refinement pieces are stitched into a rebuilt list in one
+  /// pass instead of `erase`+`insert` splicing, so a query that cracks k
+  /// slices costs one O(list) rebuild, not k of them.
   void Visit(std::vector<Slice>* slices, const Box<D>& q, const Box<D>& ext,
-             std::vector<ObjectId>* result) {
-    for (std::size_t i = 0; i < slices->size();) {
+             unsigned covered, std::vector<ObjectId>* result) {
+    const int d = slices->front().level;
+    std::vector<Slice>& rebuilt = visit_scratch_[static_cast<std::size_t>(d)];
+    bool rebuilding = false;
+    for (std::size_t i = 0; i < slices->size(); ++i) {
       Slice& s = (*slices)[i];
-      const int d = s.level;
-      if (s.size() == 0 || s.lo >= ext.hi[d] || s.hi <= ext.lo[d]) {
-        ++i;
-        continue;
-      }
-      if (s.size() > threshold_[static_cast<std::size_t>(d)] && !s.frozen) {
-        std::vector<Slice> pieces = Refine(std::move(s), ext);
-        const auto at =
-            slices->erase(slices->begin() + static_cast<std::ptrdiff_t>(i));
-        slices->insert(at, std::make_move_iterator(pieces.begin()),
-                       std::make_move_iterator(pieces.end()));
-        continue;  // reprocess the pieces now occupying position i
-      }
-      ++this->stats_.partitions_visited;
-      if (d == D - 1) {
-        for (std::size_t k = s.begin; k < s.end; ++k) {
-          ++this->stats_.objects_tested;
-          if (entries_[k].box.Intersects(q)) result->push_back(entries_[k].id);
+      const bool outside =
+          s.size() == 0 || s.lo >= ext.hi[d] || s.hi <= ext.lo[d];
+      if (!outside && s.size() > threshold_[static_cast<std::size_t>(d)] &&
+          !s.frozen) {
+        if (!rebuilding) {
+          rebuilding = true;
+          rebuilt.clear();
+          rebuilt.reserve(slices->size() + 8);
+          for (std::size_t j = 0; j < i; ++j) {
+            rebuilt.push_back(std::move((*slices)[j]));
+          }
+        }
+        std::vector<Slice>& pieces = Refine(std::move(s), ext);
+        for (Slice& piece : pieces) {
+          Process(&piece, q, ext, covered, result);
+          rebuilt.push_back(std::move(piece));
         }
       } else {
-        if (s.children.empty()) {
-          Slice child;
-          child.level = d + 1;
-          child.begin = s.begin;
-          child.end = s.end;
-          child.lo = -std::numeric_limits<Scalar>::infinity();
-          child.hi = std::numeric_limits<Scalar>::infinity();
-          s.children.push_back(std::move(child));
-        }
-        Visit(&s.children, q, ext, result);
+        if (!outside) Process(&s, q, ext, covered, result);
+        if (rebuilding) rebuilt.push_back(std::move(s));
       }
-      ++i;
+    }
+    if (rebuilding) {
+      slices->swap(rebuilt);
+      rebuilt.clear();  // drop the moved-from originals, keep the capacity
+    }
+  }
+
+  /// Handles one within-threshold (or frozen) slice that may overlap the
+  /// query: scans it at the leaf level, descends otherwise. `covered` is the
+  /// bitmask of dimensions whose slice value range lies inside the query's
+  /// own interval — every centre key there is inside `q`, which (as
+  /// `box.lo <= centre <= box.hi`) already proves the box overlaps `q` in
+  /// that dimension, so the leaf scan skips its bound test.
+  void Process(Slice* s, const Box<D>& q, const Box<D>& ext, unsigned covered,
+               std::vector<ObjectId>* result) {
+    const int d = s->level;
+    if (s->size() == 0 || s->lo >= ext.hi[d] || s->hi <= ext.lo[d]) return;
+    if (q.lo[d] <= s->lo && s->hi <= q.hi[d]) covered |= 1u << d;
+    ++this->stats_.partitions_visited;
+    if (d == D - 1) {
+      ScanLeaf(*s, q, covered, result);
+      return;
+    }
+    if (s->children.empty()) {
+      Slice child;
+      child.level = d + 1;
+      child.begin = s->begin;
+      child.end = s->end;
+      child.lo = -std::numeric_limits<Scalar>::infinity();
+      child.hi = std::numeric_limits<Scalar>::infinity();
+      s->children.push_back(std::move(child));
+    }
+    Visit(&s->children, q, ext, covered, result);
+  }
+
+  /// Leaf scan on the dense bound columns: per uncovered dimension one
+  /// branchless, auto-vectorizable pass ANDs the exact overlap test
+  /// `lo[d] <= q.hi[d] && hi[d] >= q.lo[d]` into a candidate mask —
+  /// dimension-wise this *is* `Box::Intersects`, so mask survivors are true
+  /// results and no box is ever loaded. Dimensions proven to overlap by the
+  /// `covered` mask skip their pass entirely; a slice covered in every
+  /// dimension is emitted without testing anything. Stats are batched per
+  /// slice, not per object.
+  void ScanLeaf(const Slice& s, const Box<D>& q, unsigned covered,
+                std::vector<ObjectId>* result) {
+    this->stats_.objects_tested += s.size();
+    const std::size_t len = s.size();
+    const ObjectId* ids = array_.ids().data() + s.begin;
+    if (covered == (1u << D) - 1) {
+      result->insert(result->end(), ids, ids + len);
+      return;
+    }
+    scan_mask_.assign(len, 1);
+    std::uint8_t* mask = scan_mask_.data();
+    for (int d = 0; d < D; ++d) {
+      if (covered & (1u << d)) continue;
+      const Scalar qlo = q.lo[d];
+      const Scalar qhi = q.hi[d];
+      const Scalar* los = array_.lo_col(d).data() + s.begin;
+      const Scalar* his = array_.hi_col(d).data() + s.begin;
+      for (std::size_t i = 0; i < len; ++i) {
+        mask[i] &=
+            static_cast<std::uint8_t>((los[i] <= qhi) & (his[i] >= qlo));
+      }
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      if (mask[i]) result->push_back(ids[i]);
     }
   }
 
   const Dataset<D>* data_;
   Params params_;
   bool initialized_ = false;
-  std::vector<Entry<D>> entries_;
+  /// Shared structure-of-arrays cracking core (keys, ids, boxes).
+  CrackArray<D> array_;
   Point<D> half_extent_{};
   std::array<std::size_t, D> threshold_{};
   /// Level-0 slices, ordered by array position (== key order).
   std::vector<Slice> root_;
+  /// Reusable buffers: `SplitToThreshold`'s worklist (never live across a
+  /// descend) and per-level scratch for `Refine` output / `Visit` rebuilds
+  /// (a level's buffer is only reused by the next same-level call, after the
+  /// previous contents were consumed).
+  std::vector<Slice> split_stack_;
+  std::array<std::vector<Slice>, D> refine_scratch_;
+  std::array<std::vector<Slice>, D> visit_scratch_;
+  /// Leaf-scan candidate mask, reused across scans.
+  std::vector<std::uint8_t> scan_mask_;
 };
 
 }  // namespace quasii

@@ -88,6 +88,7 @@ class RTreeIndex final : public SpatialIndex<D> {
   }
 
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (q.IsEmpty()) return;  // an empty box contains no points
     if (!built_) Build();
     QueryNode(q, levels_.size() - 1, 0, result);
   }

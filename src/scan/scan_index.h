@@ -22,6 +22,7 @@ class ScanIndex final : public SpatialIndex<D> {
   std::string_view name() const override { return "Scan"; }
 
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (q.IsEmpty()) return;  // an empty box contains no points
     const Dataset<D>& data = *data_;
     this->stats_.partitions_visited += 1;
     this->stats_.objects_tested += data.size();

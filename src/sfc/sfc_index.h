@@ -67,6 +67,7 @@ class SfcIndex final : public SpatialIndex<D> {
   }
 
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (q.IsEmpty()) return;  // an empty box contains no points
     if (!built_) Build();
     // Centre-based assignment: extend by half the max extent per dimension
     // so every intersecting object's centre cell is covered.

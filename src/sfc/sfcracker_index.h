@@ -6,8 +6,10 @@
 #include <limits>
 #include <map>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/crack_array.h"
 #include "common/dataset.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
@@ -28,6 +30,10 @@ namespace quasii {
 /// the code array, exactly like relational cracking on the two interval end
 /// points, so one spatial query performs many cracks — the weakness the
 /// paper demonstrates (Section 6.3).
+///
+/// Storage is structure-of-arrays (code column + id column) on the same
+/// `CrackPartition` primitive as QUASII's `CrackArray`, so crack comparisons
+/// stream through the dense 8-byte code column only.
 template <int D>
 class SfcrackerIndex final : public SpatialIndex<D> {
  public:
@@ -45,6 +51,7 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   void Build() override {}
 
   void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
+    if (q.IsEmpty()) return;  // inverted bounds would Z-decompose garbage
     if (!initialized_) Initialize();
     const Dataset<D>& data = *data_;
 
@@ -63,13 +70,13 @@ class SfcrackerIndex final : public SpatialIndex<D> {
     for (const zorder::ZInterval& iv : intervals_) {
       ++this->stats_.partitions_visited;
       const std::size_t begin = CrackAt(iv.lo);
-      std::size_t end = entries_.size();
+      std::size_t end = codes_.size();
       if (iv.hi != std::numeric_limits<zorder::ZCode>::max()) {
         end = CrackAt(iv.hi + 1);
       }
+      this->stats_.objects_tested += end - begin;
       for (std::size_t k = begin; k < end; ++k) {
-        ++this->stats_.objects_tested;
-        const ObjectId id = entries_[k].id;
+        const ObjectId id = ids_[k];
         if (data[id].Intersects(q)) result->push_back(id);
       }
     }
@@ -81,18 +88,31 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   const std::map<zorder::ZCode, std::size_t>& boundaries() const {
     return boundaries_;
   }
-  const std::vector<ZEntry>& entries() const { return entries_; }
+  const std::vector<zorder::ZCode>& codes() const { return codes_; }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  /// AoS view for tests that inspect (code, id) rows together. Materializes
+  /// a fresh O(n) copy on every call — named accordingly so nobody holds
+  /// pointers or iterators into the temporary.
+  std::vector<ZEntry> MaterializeEntries() const {
+    std::vector<ZEntry> rows;
+    rows.reserve(codes_.size());
+    for (std::size_t i = 0; i < codes_.size(); ++i) {
+      rows.push_back(ZEntry{codes_[i], ids_[i]});
+    }
+    return rows;
+  }
   bool initialized() const { return initialized_; }
 
  private:
   /// First-query work: the multi- to one-dimensional transformation.
   void Initialize() {
     const Dataset<D>& data = *data_;
-    entries_.clear();
-    entries_.reserve(data.size());
+    codes_.resize(data.size());
+    ids_.resize(data.size());
     half_extent_ = Point<D>{};
     for (ObjectId i = 0; i < data.size(); ++i) {
-      entries_.push_back(ZEntry{grid_.CodeOf(data[i].Center()), i});
+      codes_[i] = grid_.CodeOf(data[i].Center());
+      ids_[i] = i;
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], data[i].Extent(d) / 2);
       }
@@ -100,25 +120,26 @@ class SfcrackerIndex final : public SpatialIndex<D> {
     initialized_ = true;
   }
 
-  /// Returns the position `p` such that `entries_[0, p)` have code < `v` and
-  /// `entries_[p, n)` have code >= `v`, cracking the containing piece if the
+  /// Returns the position `p` such that `codes_[0, p)` are < `v` and
+  /// `codes_[p, n)` are >= `v`, cracking the containing piece if the
   /// boundary is not yet known (incremental quicksort step of [18]).
   std::size_t CrackAt(zorder::ZCode v) {
     const auto exact = boundaries_.find(v);
     if (exact != boundaries_.end()) return exact->second;
 
     std::size_t piece_lo = 0;
-    std::size_t piece_hi = entries_.size();
+    std::size_t piece_hi = codes_.size();
     const auto next = boundaries_.upper_bound(v);
     if (next != boundaries_.end()) piece_hi = next->second;
     if (next != boundaries_.begin()) piece_lo = std::prev(next)->second;
 
-    const auto mid = std::partition(
-        entries_.begin() + static_cast<std::ptrdiff_t>(piece_lo),
-        entries_.begin() + static_cast<std::ptrdiff_t>(piece_hi),
-        [v](const ZEntry& e) { return e.code < v; });
-    const std::size_t pos =
-        static_cast<std::size_t>(mid - entries_.begin());
+    const std::size_t pos = CrackPartition(
+        codes_.data(), piece_lo, piece_hi,
+        [v](zorder::ZCode c) { return c < v; },
+        [this](std::size_t i, std::size_t j) {
+          std::swap(codes_[i], codes_[j]);
+          std::swap(ids_[i], ids_[j]);
+        });
     boundaries_[v] = pos;
     ++this->stats_.cracks;
     this->stats_.objects_moved += piece_hi - piece_lo;
@@ -129,7 +150,10 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   zorder::ZGrid<D> grid_;
   Params params_;
   bool initialized_ = false;
-  std::vector<ZEntry> entries_;
+  /// Structure-of-arrays cracker storage: Z-code column + id column,
+  /// permuted in lockstep by `CrackPartition`.
+  std::vector<zorder::ZCode> codes_;
+  std::vector<ObjectId> ids_;
   Point<D> half_extent_{};
   /// Cracker index: boundary value -> array position (AVL tree in [18]).
   std::map<zorder::ZCode, std::size_t> boundaries_;

@@ -203,6 +203,25 @@ void TestRosterResultCountsAgree() {
   CHECK(!first.empty());
 }
 
+/// `MakeBenchInputs` must never pad the workload with default-constructed
+/// (empty) query boxes: the clustered generator's rounded-up output is
+/// clamped down to the requested count, never blindly resized up.
+void TestBenchInputsEmitNoEmptyQueries() {
+  for (const int requested : {1, 7, 13, 100, 101}) {
+    BenchConfig config;
+    config.n = 1000;
+    config.queries = requested;
+    config.workload = "clustered";
+    quasii::Dataset3 data;
+    quasii::Box3 universe;
+    std::vector<quasii::Box3> queries;
+    quasii::bench::MakeBenchInputs(config, &data, &universe, &queries);
+    CHECK_GT(queries.size(), 0u);
+    CHECK_LE(queries.size(), static_cast<std::size_t>(requested));
+    for (const quasii::Box3& q : queries) CHECK(!q.IsEmpty());
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -210,5 +229,6 @@ int main() {
   RUN_TEST(TestReportIsValidJson);
   RUN_TEST(TestIndexFilterAndWorkloads);
   RUN_TEST(TestRosterResultCountsAgree);
+  RUN_TEST(TestBenchInputsEmitNoEmptyQueries);
   return 0;
 }

@@ -1,0 +1,279 @@
+// CrackArray tests: the structure-of-arrays cracking core must keep its id,
+// key, and box columns consistent under arbitrary crack / median-split
+// sequences, handle duplicate-key-heavy data via the frozen path, and carry
+// the SoA QuasiiIndex to Scan-identical results on every dataset family.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/crack_array.h"
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "datagen/neuro.h"
+#include "datagen/queries.h"
+#include "datagen/synthetic.h"
+#include "geometry/box.h"
+#include "quasii/quasii_index.h"
+#include "scan/scan_index.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using quasii::Box3;
+using quasii::CrackArray;
+using quasii::CrackPartition;
+using quasii::Dataset3;
+using quasii::ObjectId;
+using quasii::QuasiiIndex;
+using quasii::Rng;
+using quasii::Scalar;
+using quasii::ScanIndex;
+
+Box3 TestUniverse() {
+  Box3 u;
+  for (int d = 0; d < 3; ++d) {
+    u.lo[d] = 0;
+    u.hi[d] = 1000;
+  }
+  return u;
+}
+
+/// Every column must describe the same permutation of the original dataset:
+/// ids are a permutation, and row i's keys/box are exactly the source
+/// object's centre keys/box.
+void CheckColumnsConsistent(const CrackArray<3>& a, const Dataset3& data) {
+  CHECK_EQ(a.size(), data.size());
+  std::vector<bool> seen(data.size(), false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ObjectId id = a.id(i);
+    CHECK_LT(id, data.size());
+    CHECK(!seen[id]);
+    seen[id] = true;
+    CHECK(a.box(i) == data[id]);
+    for (int d = 0; d < 3; ++d) {
+      CHECK_EQ(a.key(d, i), CrackArray<3>::CenterKey(data[id], d));
+    }
+  }
+}
+
+void TestPermutationIntegrityUnderRandomOps() {
+  Rng rng(71);
+  const Box3 universe = TestUniverse();
+  const Dataset3 data =
+      quasii::datagen::MakeRandomBoxes<3>(8000, universe, 9.0f, &rng);
+  CrackArray<3> a(data);
+  CheckColumnsConsistent(a, data);
+
+  // Arbitrary interleaved crack / median-split sequence over random ranges.
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t x =
+        static_cast<std::size_t>(rng.UniformInt(0, 7999));
+    const std::size_t y =
+        static_cast<std::size_t>(rng.UniformInt(0, 7999));
+    const std::size_t begin = std::min(x, y);
+    const std::size_t end = std::max(x, y) + 1;
+    const int d = static_cast<int>(rng.UniformInt(0, 2));
+    if (step % 2 == 0) {
+      const Scalar v = rng.UniformScalar(universe.lo[d], universe.hi[d]);
+      const std::size_t pos = a.CrackOnAxis(begin, end, d, v);
+      CHECK_GE(pos, begin);
+      CHECK_LE(pos, end);
+      for (std::size_t i = begin; i < pos; ++i) CHECK_LT(a.key(d, i), v);
+      for (std::size_t i = pos; i < end; ++i) CHECK_GE(a.key(d, i), v);
+    } else {
+      const auto split = a.MedianSplit(begin, end, d);
+      CHECK_GE(split.pos, begin);
+      CHECK_LE(split.pos, end);
+      CHECK(!split.frozen || split.pos == end);
+      for (std::size_t i = begin; i < split.pos; ++i) {
+        CHECK_LT(a.key(d, i), split.bound);
+      }
+      for (std::size_t i = split.pos; i < end; ++i) {
+        CHECK_GE(a.key(d, i), split.bound);
+      }
+      if (!split.frozen) {
+        // A successful split must make progress on both sides.
+        CHECK_GT(split.pos, begin);
+        CHECK_LT(split.pos, end);
+      }
+    }
+    CheckColumnsConsistent(a, data);
+  }
+}
+
+void TestMedianSplitBalanceAndBounds() {
+  Rng rng(5);
+  const Box3 universe = TestUniverse();
+  const Dataset3 data =
+      quasii::datagen::MakeRandomBoxes<3>(4096, universe, 2.0f, &rng);
+  CrackArray<3> a(data);
+  const auto split = a.MedianSplit(0, a.size(), 1);
+  CHECK(!split.frozen);
+  // With (near-)distinct keys the split lands near the middle.
+  CHECK_GT(split.pos, a.size() / 4);
+  CHECK_LT(split.pos, 3 * a.size() / 4);
+  CheckColumnsConsistent(a, data);
+}
+
+void TestDuplicateHeavyFrozenPath() {
+  // 90% of the dataset is one identical box: median splits along any axis
+  // keep running into the duplicate run at scale.
+  Rng rng(23);
+  const Box3 universe = TestUniverse();
+  Dataset3 data;
+  Box3 dup;
+  for (int d = 0; d < 3; ++d) {
+    dup.lo[d] = 500;
+    dup.hi[d] = 502;
+  }
+  for (int i = 0; i < 18000; ++i) data.push_back(dup);
+  const Dataset3 extra =
+      quasii::datagen::MakeRandomBoxes<3>(2000, universe, 4.0f, &rng);
+  data.insert(data.end(), extra.begin(), extra.end());
+
+  CrackArray<3> a(data);
+  // Repeated median splits must terminate at the frozen duplicate run, with
+  // columns intact throughout.
+  std::size_t begin = 0;
+  std::size_t end = a.size();
+  bool froze = false;
+  for (int i = 0; i < 64 && !froze; ++i) {
+    const auto split = a.MedianSplit(begin, end, 0);
+    if (split.frozen) {
+      froze = true;
+      break;
+    }
+    // Keep descending into the half that contains the duplicate run.
+    const Scalar dup_key = CrackArray<3>::CenterKey(dup, 0);
+    if (dup_key < split.bound) {
+      end = split.pos;
+    } else {
+      begin = split.pos;
+    }
+    CHECK_LT(begin, end);
+  }
+  CHECK(froze);
+  CheckColumnsConsistent(a, data);
+
+  // The full QUASII stack over the same data: duplicate-heavy slices freeze
+  // instead of splitting forever, and results still match Scan.
+  QuasiiIndex<3>::Params params;
+  params.leaf_threshold = 128;
+  QuasiiIndex<3> index(data, params);
+  ScanIndex<3> scan(data);
+  quasii::datagen::UniformQueryParams qp;
+  qp.count = 40;
+  qp.selectivity = 1e-2;
+  qp.seed = 6;
+  const auto queries = quasii::datagen::MakeUniformQueries(universe, qp);
+  std::vector<ObjectId> got, want;
+  for (const Box3& q : queries) {
+    got.clear();
+    want.clear();
+    index.Query(q, &got);
+    scan.Query(q, &want);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    CHECK(got == want);
+  }
+}
+
+void TestCrackPartitionPrimitive() {
+  // The shared primitive on a plain int column with a companion payload.
+  std::vector<int> keys = {5, 1, 9, 3, 7, 3, 0, 8, 2, 6};
+  std::vector<int> payload = keys;  // co-moves; must stay equal to keys
+  const std::size_t pos = quasii::CrackPartition(
+      keys.data(), 0, keys.size(), [](int k) { return k < 5; },
+      [&](std::size_t i, std::size_t j) {
+        std::swap(keys[i], keys[j]);
+        std::swap(payload[i], payload[j]);
+      });
+  CHECK_EQ(pos, 5u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    CHECK_EQ(keys[i], payload[i]);
+    if (i < pos) {
+      CHECK_LT(keys[i], 5);
+    } else {
+      CHECK_GE(keys[i], 5);
+    }
+  }
+
+  // Degenerate ranges: empty, all-pass, all-fail.
+  std::vector<int> one = {4};
+  auto noswap = [](std::size_t, std::size_t) { CHECK(false); };
+  CHECK_EQ(quasii::CrackPartition(one.data(), 0, 0,
+                                  [](int) { return true; }, noswap),
+           0u);
+  CHECK_EQ(quasii::CrackPartition(one.data(), 0, 1,
+                                  [](int k) { return k < 10; }, noswap),
+           1u);
+  CHECK_EQ(quasii::CrackPartition(one.data(), 0, 1,
+                                  [](int k) { return k < 0; }, noswap),
+           0u);
+}
+
+/// The SoA QuasiiIndex must agree with Scan on every dataset family the
+/// equivalence suite exercises: uniform, neuro, 2d random boxes, and the
+/// duplicate-heavy degenerate case (covered above).
+template <int D>
+void CheckQuasiiAgainstScan(const quasii::Dataset<D>& data,
+                            const quasii::Box<D>& universe,
+                            std::uint64_t seed) {
+  typename QuasiiIndex<D>::Params params;
+  params.leaf_threshold = 256;
+  QuasiiIndex<D> index(data, params);
+  ScanIndex<D> scan(data);
+  quasii::datagen::UniformQueryParams qp;
+  qp.count = 40;
+  qp.selectivity = 1e-3;
+  qp.seed = seed;
+  const auto queries = quasii::datagen::MakeUniformQueries(universe, qp);
+  std::vector<ObjectId> got, want;
+  for (const auto& q : queries) {
+    got.clear();
+    want.clear();
+    index.Query(q, &got);
+    scan.Query(q, &want);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    CHECK(got == want);
+  }
+}
+
+void TestSoaQuasiiEquivalence() {
+  {
+    quasii::datagen::UniformDatasetParams p;
+    p.count = 15000;
+    CheckQuasiiAgainstScan<3>(quasii::datagen::MakeUniformDataset(p),
+                              quasii::datagen::UniformUniverse(p), 11);
+  }
+  {
+    quasii::datagen::NeuroDatasetParams p;
+    p.count = 15000;
+    CheckQuasiiAgainstScan<3>(quasii::datagen::MakeNeuroDataset(p),
+                              quasii::datagen::NeuroUniverse(p), 12);
+  }
+  {
+    Rng rng(13);
+    quasii::Box2 universe;
+    for (int d = 0; d < 2; ++d) {
+      universe.lo[d] = -250;
+      universe.hi[d] = 250;
+    }
+    CheckQuasiiAgainstScan<2>(
+        quasii::datagen::MakeRandomBoxes<2>(12000, universe, 6.0f, &rng),
+        universe, 14);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RUN_TEST(TestCrackPartitionPrimitive);
+  RUN_TEST(TestPermutationIntegrityUnderRandomOps);
+  RUN_TEST(TestMedianSplitBalanceAndBounds);
+  RUN_TEST(TestDuplicateHeavyFrozenPath);
+  RUN_TEST(TestSoaQuasiiEquivalence);
+  return 0;
+}

@@ -197,6 +197,54 @@ void TestDegenerateDatasets() {
   CheckAllAgainstScan<3>(dup, universe, queries, "duplicates");
 }
 
+void TestInvertedQueryReturnsNothingEverywhere() {
+  // An inverted (empty) query box must return nothing from any index and,
+  // crucially, must not corrupt the incremental indexes' internal order:
+  // subsequent valid queries still match Scan.
+  quasii::datagen::UniformDatasetParams p;
+  p.count = 8000;
+  Dataset3 data = quasii::datagen::MakeUniformDataset(p);
+  const Box3 universe = quasii::datagen::UniformUniverse(p);
+  // An object spanning the inverted gap: the naive closed-interval
+  // `Intersects` would report it for the inverted box below, so only an
+  // explicit `IsEmpty` guard keeps the result empty.
+  data.push_back(universe);
+  Box3 inverted;
+  for (int d = 0; d < 3; ++d) {
+    inverted.lo[d] = 600;
+    inverted.hi[d] = 400;  // lo > hi: empty by construction
+  }
+  CHECK(inverted.IsEmpty());
+
+  ScanIndex<3> scan(data);
+  auto challengers = MakeChallengers<3>(data, universe);
+  std::vector<ObjectId> got, want;
+  for (auto& index : challengers) {
+    index->Build();
+    got.clear();
+    index->Query(inverted, &got);
+    CHECK(got.empty());
+  }
+  const auto queries = MixedWorkload<3>(universe, data, 1e-3, 57);
+  for (const Box3& q : queries) {
+    want.clear();
+    scan.Query(q, &want);
+    std::sort(want.begin(), want.end());
+    for (auto& index : challengers) {
+      got.clear();
+      index->Query(q, &got);
+      std::sort(got.begin(), got.end());
+      CHECK(got == want);
+    }
+    // Interleave more inverted queries between the valid ones.
+    for (auto& index : challengers) {
+      got.clear();
+      index->Query(inverted, &got);
+      CHECK(got.empty());
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -204,5 +252,6 @@ int main() {
   RUN_TEST(TestNeuroDatasetEquivalence);
   RUN_TEST(TestRandomBoxes2dEquivalence);
   RUN_TEST(TestDegenerateDatasets);
+  RUN_TEST(TestInvertedQueryReturnsNothingEverywhere);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/crack_array.h"
 #include "common/dataset.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -22,19 +23,14 @@
 namespace {
 
 using quasii::Box3;
+using quasii::CrackArray;
 using quasii::Dataset3;
-using quasii::Entry;
 using quasii::ObjectId;
 using quasii::QuasiiIndex;
 using quasii::Rng;
 using quasii::Scalar;
 using quasii::ScanIndex;
 using quasii::Timer;
-
-template <int D>
-Scalar CenterKey(const Entry<D>& e, int d) {
-  return (e.box.lo[d] + e.box.hi[d]) / 2;
-}
 
 /// Walks one level's slice list and recurses into children, verifying:
 /// sibling ranges tile the parent range in order, value intervals are
@@ -54,7 +50,7 @@ void CheckSliceList(const QuasiiIndex<D>& index,
     CHECK_GE(s.lo, prev_hi);
     prev_hi = s.hi;
     for (std::size_t k = s.begin; k < s.end; ++k) {
-      const Scalar key = CenterKey(index.entries()[k], level);
+      const Scalar key = index.array().key(level, k);
       CHECK_GE(key, s.lo);
       CHECK_LT(key, s.hi);
     }
@@ -69,14 +65,20 @@ void CheckSliceList(const QuasiiIndex<D>& index,
 
 template <int D>
 void CheckInvariants(const QuasiiIndex<D>& index, std::size_t n) {
-  CHECK_EQ(index.entries().size(), n);
+  const CrackArray<D>& array = index.array();
+  CHECK_EQ(array.size(), n);
   CheckSliceList(index, index.root_slices(), 0, 0, n);
-  // Cracking permutes entries but never loses or duplicates them.
+  // Cracking permutes rows but never loses or duplicates them, and the key
+  // columns stay consistent with the co-moved boxes.
   std::vector<bool> seen(n, false);
-  for (const auto& e : index.entries()) {
-    CHECK_LT(e.id, n);
-    CHECK(!seen[e.id]);
-    seen[e.id] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ObjectId id = array.id(i);
+    CHECK_LT(id, n);
+    CHECK(!seen[id]);
+    seen[id] = true;
+    for (int d = 0; d < D; ++d) {
+      CHECK_EQ(array.key(d, i), CrackArray<D>::CenterKey(array.box(i), d));
+    }
   }
 }
 

@@ -42,7 +42,7 @@ Box3 TestUniverse() {
 /// equivalent to: each segment between adjacent boundaries holds exactly the
 /// codes in the corresponding value interval — checkable in one pass.
 void CheckBoundaryInvariants(const SfcrackerIndex<3>& index) {
-  const std::vector<ZEntry>& entries = index.entries();
+  const std::vector<ZEntry> entries = index.MaterializeEntries();
   std::size_t seg_begin = 0;
   std::uint64_t seg_lo = 0;  // codes in the segment are in [seg_lo, value)
   for (const auto& [value, pos] : index.boundaries()) {
@@ -89,9 +89,10 @@ void TestCrackBoundariesAfterQueries() {
   CHECK(cracker.initialized());
   CHECK_GT(cracker.num_boundaries(), 0u);
   // Cracking reorders but never loses or duplicates entries.
-  CHECK_EQ(cracker.entries().size(), data.size());
+  const std::vector<ZEntry> entries = cracker.MaterializeEntries();
+  CHECK_EQ(entries.size(), data.size());
   std::vector<bool> seen(data.size(), false);
-  for (const ZEntry& e : cracker.entries()) {
+  for (const ZEntry& e : entries) {
     CHECK_LT(e.id, data.size());
     CHECK(!seen[e.id]);
     seen[e.id] = true;

@@ -2,13 +2,16 @@
 #define QUASII_BENCH_BENCH_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/json.h"
+#include "bench/workload.h"
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "common/timer.h"
 #include "datagen/neuro.h"
@@ -38,6 +41,10 @@ struct BenchConfig {
   std::uint64_t seed = 1;
   /// Empty = every index in the roster; otherwise exact `name()` matches.
   std::vector<std::string> indexes;
+  /// Per-type composition of the workload (default: pure range, the paper's
+  /// setting) plus the kNN parameter.
+  WorkloadMix mix;
+  std::size_t knn_k = 10;
 };
 
 /// The full evaluation roster over one dataset (Section 6.1 list).
@@ -58,7 +65,19 @@ inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeIndexRoster(
   return roster;
 }
 
-/// Per-index measurement: build time, per-query latencies, cumulative stats.
+/// Per-query-type aggregate of a run: how many queries of the type ran,
+/// their wall clock, their result cardinality, and the work counters they
+/// were responsible for (stats deltas, so the per-type counters sum to the
+/// cumulative ones).
+struct TypeBreakdown {
+  std::uint64_t queries = 0;
+  double total_ms = 0;
+  std::uint64_t result_objects = 0;
+  QueryStats stats;
+};
+
+/// Per-index measurement: build time, per-query latencies, cumulative stats,
+/// and the per-type breakdown.
 struct IndexRun {
   std::string name;
   double build_ms = 0;
@@ -66,6 +85,7 @@ struct IndexRun {
   std::vector<double> latencies_ms;
   std::uint64_t result_objects = 0;
   QueryStats cumulative;
+  std::array<TypeBreakdown, kNumQueryTypes> per_type;
 };
 
 inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
@@ -105,8 +125,64 @@ inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
   }
 }
 
+/// The typed workload of a config: the box footprints typed per the mix,
+/// interleaved deterministically from the config seed.
+inline std::vector<Query3> MakeBenchWorkload(const BenchConfig& config,
+                                             const std::vector<Box3>& boxes) {
+  WorkloadSpec spec;
+  spec.mix = config.mix;
+  spec.knn_k = config.knn_k;
+  spec.seed = config.seed + 2;
+  return MakeTypedWorkload<3>(boxes, spec);
+}
+
+/// Reusable sinks of a measurement loop, pre-sized so reallocation never
+/// lands inside a timed query.
+struct RunSinks {
+  RunSinks() { result.reserve(4096); }
+  std::vector<ObjectId> result;
+  VectorSink vector_sink{&result};
+  CountSink count_sink;
+};
+
+struct TimedExec {
+  double ms = 0;
+  std::uint64_t results = 0;
+};
+
+/// Executes one typed query against `index` with the sink its type calls
+/// for, times it, and accumulates latency, result count, and the stats
+/// delta into the query's `per_type` section — the one measurement
+/// primitive both the bench driver and the microbench loop share.
+inline TimedExec RunTimedQuery(
+    SpatialIndex<3>* index, const Query3& q, RunSinks* sinks,
+    std::array<TypeBreakdown, kNumQueryTypes>* per_type) {
+  const QueryStats before = index->stats();
+  TimedExec exec;
+  if (q.type == QueryType::kCount) {
+    sinks->count_sink.Reset();
+    Timer t;
+    index->Execute(q, sinks->count_sink);
+    exec.ms = t.Millis();
+    exec.results = sinks->count_sink.count();
+  } else {
+    sinks->result.clear();
+    Timer t;
+    index->Execute(q, sinks->vector_sink);
+    exec.ms = t.Millis();
+    exec.results = sinks->result.size();
+  }
+  TypeBreakdown& agg =
+      (*per_type)[static_cast<std::size_t>(TypeIndexOf(q))];
+  ++agg.queries;
+  agg.total_ms += exec.ms;
+  agg.result_objects += exec.results;
+  agg.stats += index->stats() - before;
+  return exec;
+}
+
 inline IndexRun RunIndex(SpatialIndex<3>* index,
-                         const std::vector<Box3>& queries) {
+                         const std::vector<Query3>& queries) {
   IndexRun run;
   run.name = std::string(index->name());
   Timer build_timer;
@@ -114,17 +190,13 @@ inline IndexRun RunIndex(SpatialIndex<3>* index,
   run.build_ms = build_timer.Millis();
   index->ResetStats();
 
-  // Pre-size both vectors so reallocation never lands inside a timed query.
   run.latencies_ms.reserve(queries.size());
-  std::vector<ObjectId> result;
-  result.reserve(4096);
-  for (const Box3& q : queries) {
-    result.clear();
-    Timer t;
-    index->Query(q, &result);
-    run.latencies_ms.push_back(t.Millis());
-    run.total_query_ms += run.latencies_ms.back();
-    run.result_objects += result.size();
+  RunSinks sinks;
+  for (const Query3& q : queries) {
+    const TimedExec exec = RunTimedQuery(index, q, &sinks, &run.per_type);
+    run.latencies_ms.push_back(exec.ms);
+    run.total_query_ms += exec.ms;
+    run.result_objects += exec.results;
   }
   run.cumulative = index->stats();
   return run;
@@ -141,13 +213,44 @@ inline void WriteStats(JsonWriter* w, const QueryStats& s) {
   w->EndObject();
 }
 
+/// Emits the `per_type` object: one section per engine query type, always
+/// all four (zeroed sections make schema consumers simpler than absent
+/// ones).
+inline void WriteTypeBreakdown(
+    JsonWriter* w, const std::array<TypeBreakdown, kNumQueryTypes>& per_type) {
+  w->BeginObject();
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    const TypeBreakdown& agg = per_type[static_cast<std::size_t>(t)];
+    w->Key(QueryTypeName(t)).BeginObject();
+    w->Key("queries").Uint(agg.queries);
+    w->Key("total_ms").Double(agg.total_ms);
+    w->Key("mean_ms").Double(
+        agg.queries > 0 ? agg.total_ms / static_cast<double>(agg.queries) : 0);
+    w->Key("result_objects").Uint(agg.result_objects);
+    w->Key("stats");
+    WriteStats(w, agg.stats);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+inline void WriteMix(JsonWriter* w, const WorkloadMix& mix) {
+  w->BeginObject();
+  w->Key("range").Double(mix.range);
+  w->Key("point").Double(mix.point);
+  w->Key("count").Double(mix.count);
+  w->Key("knn").Double(mix.knn);
+  w->EndObject();
+}
+
 /// Runs the configured experiment and returns the JSON report consumed by
 /// the BENCH_*.json comparison tooling.
 inline std::string RunBenchmark(const BenchConfig& config) {
   Dataset3 data;
   Box3 universe;
-  std::vector<Box3> queries;
-  MakeBenchInputs(config, &data, &universe, &queries);
+  std::vector<Box3> boxes;
+  MakeBenchInputs(config, &data, &universe, &boxes);
+  const std::vector<Query3> queries = MakeBenchWorkload(config, boxes);
 
   JsonWriter w;
   w.BeginObject();
@@ -158,6 +261,9 @@ inline std::string RunBenchmark(const BenchConfig& config) {
   w.Key("queries").Uint(queries.size());
   w.Key("selectivity").Double(config.selectivity);
   w.Key("seed").Uint(config.seed);
+  w.Key("mix");
+  WriteMix(&w, config.mix);
+  w.Key("knn_k").Uint(config.knn_k);
   w.EndObject();
 
   w.Key("results").BeginArray();
@@ -176,6 +282,8 @@ inline std::string RunBenchmark(const BenchConfig& config) {
     w.Key("result_objects").Uint(run.result_objects);
     w.Key("cumulative_stats");
     WriteStats(&w, run.cumulative);
+    w.Key("per_type");
+    WriteTypeBreakdown(&w, run.per_type);
     w.Key("latencies_ms").BeginArray();
     for (const double ms : run.latencies_ms) w.Double(ms);
     w.EndArray();

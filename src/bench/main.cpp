@@ -1,11 +1,13 @@
 // Experiment driver: runs every index of the Section 6 evaluation over a
 // generated dataset + query workload and prints a JSON report (per-query
-// latencies plus cumulative QueryStats per index) to stdout or --out.
+// latencies, cumulative QueryStats, per-query-type breakdown per index) to
+// stdout or --out.
 //
 // Examples:
 //   quasii_bench --dataset=uniform --workload=uniform --n=1048576
 //   quasii_bench --dataset=neuro --workload=clustered --queries=500
 //       --indexes=QUASII,Scan --out=bench.json
+//   quasii_bench --mix=range:0.7,point:0.2,count:0.05,knn:0.05 --knn-k=10
 
 #include <cstdint>
 #include <cstdio>
@@ -28,7 +30,11 @@ void PrintUsage() {
                "                    [--workload=uniform|clustered]\n"
                "                    [--n=COUNT] [--queries=COUNT]\n"
                "                    [--selectivity=FRACTION] [--seed=SEED]\n"
-               "                    [--indexes=NAME,NAME,...] [--out=PATH]\n");
+               "                    [--indexes=NAME,NAME,...] [--out=PATH]\n"
+               "                    [--mix=range:W,point:W,count:W,knn:W]\n"
+               "                    [--knn-k=K]\n"
+               "--mix types the workload (weights are ratios; default pure\n"
+               "range); point/kNN queries probe the footprint box centres.\n");
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -68,6 +74,12 @@ bool ParseArg(const std::string& arg, BenchConfig* config,
     config->seed = std::strtoull(value.c_str(), nullptr, 10);
   } else if (key == "indexes") {
     config->indexes = SplitCommas(value);
+  } else if (key == "mix") {
+    if (!quasii::bench::ParseWorkloadMix(value, &config->mix)) return false;
+  } else if (key == "knn-k") {
+    const long long k = std::strtoll(value.c_str(), nullptr, 10);
+    if (k <= 0) return false;
+    config->knn_k = static_cast<std::size_t>(k);
   } else if (key == "out") {
     *out_path = value;
   } else {

@@ -24,10 +24,14 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: quasii_microbench [--min-exp=E] [--max-exp=E]\n"
                "                         [--queries=COUNT] [--seed=SEED]\n"
-               "                         [--workloads=uniform,clustered]\n"
+               "                         [--workloads=WORKLOAD,...]\n"
                "                         [--out=PATH]\n"
-               "defaults: n = 2^17..2^20, 1000 queries, both workloads,\n"
-               "          report written to BENCH_quasii.json\n");
+               "workloads: uniform, clustered, mixed\n"
+               "defaults: n = 2^17..2^20, 1000 queries, the uniform and\n"
+               "          clustered workloads, report written to\n"
+               "          BENCH_quasii.json. The mixed workload (70%% range,\n"
+               "          20%% point, 5%% count, 5%% kNN) probes convergence\n"
+               "          under heterogeneous query types.\n");
 }
 
 bool ParseArg(const std::string& arg, MicrobenchOptions* options,
@@ -52,7 +56,7 @@ bool ParseArg(const std::string& arg, MicrobenchOptions* options,
       const std::size_t end = comma == std::string::npos ? value.size() : comma;
       if (end > start) {
         const std::string w = value.substr(start, end - start);
-        if (w != "uniform" && w != "clustered") return false;
+        if (w != "uniform" && w != "clustered" && w != "mixed") return false;
         options->workloads.push_back(w);
       }
       start = end + 1;

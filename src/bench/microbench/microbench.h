@@ -2,6 +2,7 @@
 #define QUASII_BENCH_MICROBENCH_MICROBENCH_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -9,7 +10,9 @@
 
 #include "bench/bench.h"
 #include "bench/json.h"
+#include "bench/workload.h"
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "common/timer.h"
 #include "geometry/box.h"
@@ -24,12 +27,16 @@ namespace quasii::bench {
 /// n = 2^min_exp .. 2^max_exp. Its `BENCH_quasii.json` report is the
 /// baseline every perf PR diffs against: first-query cost, the per-query
 /// convergence curve, cumulative crack/move counters, and total query time.
+/// The "mixed" workload (70% range / 20% point / 5% count / 5% kNN through
+/// the typed engine) measures whether QUASII's convergence survives
+/// heterogeneous workloads — the paper's §7 open question.
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
   int queries = 1000;
   std::uint64_t seed = 1;
-  /// Subset of {"uniform", "clustered"}; both when empty.
+  /// Subset of {"uniform", "clustered", "mixed"}; uniform + clustered when
+  /// empty (the committed-baseline matrix).
   std::vector<std::string> workloads;
 };
 
@@ -54,6 +61,7 @@ struct MicroRun {
   double steady_tail_mean_ms = 0;
   std::uint64_t result_objects = 0;
   QueryStats cumulative;
+  std::array<TypeBreakdown, kNumQueryTypes> per_type;
   std::vector<ConvergencePoint> convergence;
 };
 
@@ -69,7 +77,7 @@ inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeMicrobenchRoster(
 }
 
 inline MicroRun RunMicro(SpatialIndex<3>* index,
-                         const std::vector<Box3>& queries) {
+                         const std::vector<Query3>& queries) {
   MicroRun run;
   run.name = std::string(index->name());
   Timer build_timer;
@@ -77,17 +85,14 @@ inline MicroRun RunMicro(SpatialIndex<3>* index,
   run.build_ms = build_timer.Millis();
   index->ResetStats();
 
-  std::vector<ObjectId> result;
-  result.reserve(4096);
+  RunSinks sinks;
   int next_sample = 1;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    result.clear();
-    Timer t;
-    index->Query(queries[i], &result);
-    const double ms = t.Millis();
-    run.total_query_ms += ms;
-    run.result_objects += result.size();
-    if (i == 0) run.first_query_ms = ms;
+    const TimedExec exec =
+        RunTimedQuery(index, queries[i], &sinks, &run.per_type);
+    run.total_query_ms += exec.ms;
+    run.result_objects += exec.results;
+    if (i == 0) run.first_query_ms = exec.ms;
     const int done = static_cast<int>(i) + 1;
     if (done == next_sample || i + 1 == queries.size()) {
       ConvergencePoint p;
@@ -103,14 +108,13 @@ inline MicroRun RunMicro(SpatialIndex<3>* index,
   run.cumulative = index->stats();
   // Converged per-query cost: repeat the last 10% of the workload once more.
   // Those regions are fully refined now, so this measures steady state
-  // without polluting the totals or counters recorded above.
+  // without polluting the totals recorded above (the per-type counters do
+  // absorb the re-run's stats deltas into a scratch copy, not the report).
   const std::size_t tail = std::max<std::size_t>(1, queries.size() / 10);
+  std::array<TypeBreakdown, kNumQueryTypes> scratch{};
   double tail_ms = 0;
   for (std::size_t i = queries.size() - tail; i < queries.size(); ++i) {
-    result.clear();
-    Timer t;
-    index->Query(queries[i], &result);
-    tail_ms += t.Millis();
+    tail_ms += RunTimedQuery(index, queries[i], &sinks, &scratch).ms;
   }
   run.steady_tail_mean_ms = tail_ms / static_cast<double>(tail);
   return run;
@@ -126,6 +130,8 @@ inline void WriteMicroRun(JsonWriter* w, const MicroRun& run) {
   w->Key("result_objects").Uint(run.result_objects);
   w->Key("cumulative_stats");
   WriteStats(w, run.cumulative);
+  w->Key("per_type");
+  WriteTypeBreakdown(w, run.per_type);
   w->Key("convergence").BeginArray();
   for (const ConvergencePoint& p : run.convergence) {
     w->BeginObject();
@@ -146,7 +152,7 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v1");
+  w.Key("schema").String("quasii-microbench-v2");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
@@ -159,26 +165,33 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
     for (int e = options.min_exp; e <= options.max_exp; ++e) {
       BenchConfig config;
       config.dataset = "uniform";
-      config.workload = workload;
+      // The mixed workload reuses the uniform footprint generator; only the
+      // query *types* differ.
+      const bool mixed = workload == "mixed";
+      config.workload = mixed ? "uniform" : workload;
       config.n = std::size_t{1} << e;
       config.queries = options.queries;
       // Paper selectivities: 0.1% for the uniform workload (§6.6), 10^-2 %
       // for the clustered default (§6.1).
-      config.selectivity = workload == "clustered" ? 1e-4 : 1e-3;
+      config.selectivity = config.workload == "clustered" ? 1e-4 : 1e-3;
       config.seed = options.seed;
+      if (mixed) config.mix = DefaultMixedWorkloadMix();
 
       Dataset3 data;
       Box3 universe;
-      std::vector<Box3> queries;
-      MakeBenchInputs(config, &data, &universe, &queries);
+      std::vector<Box3> boxes;
+      MakeBenchInputs(config, &data, &universe, &boxes);
+      const std::vector<Query3> queries = MakeBenchWorkload(config, boxes);
 
       w.BeginObject();
       w.Key("dataset").String(config.dataset);
-      w.Key("workload").String(config.workload);
+      w.Key("workload").String(workload);
       w.Key("n").Uint(data.size());
       w.Key("queries").Uint(queries.size());
       w.Key("selectivity").Double(config.selectivity);
       w.Key("seed").Uint(config.seed);
+      w.Key("mix");
+      WriteMix(&w, config.mix);
       w.Key("results").BeginArray();
       auto roster = MakeMicrobenchRoster(data, universe);
       for (const auto& index : roster) {

@@ -1,0 +1,179 @@
+#ifndef QUASII_BENCH_WORKLOAD_H_
+#define QUASII_BENCH_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/query.h"
+#include "common/rng.h"
+#include "geometry/box.h"
+
+namespace quasii::bench {
+
+/// Per-type composition of a mixed workload: relative weights of the four
+/// engine query types (they need not sum to 1; only ratios matter). The
+/// default is the paper's pure-intersection workload, so existing configs
+/// keep their exact behaviour.
+struct WorkloadMix {
+  double range = 1.0;
+  double point = 0.0;
+  double count = 0.0;
+  double knn = 0.0;
+
+  double Total() const { return range + point + count + knn; }
+  bool IsPureRange() const { return point == 0 && count == 0 && knn == 0; }
+};
+
+/// The default heterogeneous mix of the mixed-workload experiments:
+/// 70% range / 20% point / 5% count / 5% kNN.
+inline WorkloadMix DefaultMixedWorkloadMix() {
+  WorkloadMix mix;
+  mix.range = 0.70;
+  mix.point = 0.20;
+  mix.count = 0.05;
+  mix.knn = 0.05;
+  return mix;
+}
+
+/// Everything needed to type a box workload: the mix plus the per-query
+/// parameters of the non-range types.
+struct WorkloadSpec {
+  WorkloadMix mix;
+  /// Neighbors per kNN query.
+  std::size_t knn_k = 10;
+  /// Seed of the type-interleaving draw (independent of the box workload's
+  /// own seed so the spatial footprint stays identical across mixes).
+  std::uint64_t seed = 5;
+};
+
+/// Stable indices/names of the per-type report sections.
+enum QueryTypeIndex {
+  kTypeRange = 0,
+  kTypePoint = 1,
+  kTypeCount = 2,
+  kTypeKnn = 3,
+  kNumQueryTypes = 4,
+};
+
+inline const char* QueryTypeName(int type_index) {
+  switch (type_index) {
+    case kTypeRange:
+      return "range";
+    case kTypePoint:
+      return "point";
+    case kTypeCount:
+      return "count";
+    case kTypeKnn:
+      return "knn";
+    default:
+      return "?";
+  }
+}
+
+template <int D>
+int TypeIndexOf(const Query<D>& q) {
+  switch (q.type) {
+    case QueryType::kRange:
+      return kTypeRange;
+    case QueryType::kPoint:
+      return kTypePoint;
+    case QueryType::kCount:
+      return kTypeCount;
+    case QueryType::kKNearest:
+      return kTypeKnn;
+  }
+  return kTypeRange;
+}
+
+/// Types a box workload: each footprint box becomes one typed query, its
+/// type drawn from the mix — deterministic interleaving from the shared
+/// `Rng`, so a (boxes, spec) pair always produces the same typed sequence.
+/// Point and kNN queries probe the box centre, so every type exercises the
+/// same spatial region and per-type results stay comparable.
+template <int D>
+std::vector<Query<D>> MakeTypedWorkload(const std::vector<Box<D>>& boxes,
+                                        const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  const double weights[kNumQueryTypes] = {spec.mix.range, spec.mix.point,
+                                          spec.mix.count, spec.mix.knn};
+  const double total = spec.mix.Total();
+  std::vector<Query<D>> queries;
+  queries.reserve(boxes.size());
+  for (const Box<D>& b : boxes) {
+    // Roulette-wheel draw over the positive weights. The fallback for
+    // floating-point drift past the last cumulative threshold is the last
+    // *positive* type, so a type with weight 0 can never be emitted.
+    int pick = kTypeRange;
+    if (total > 0) {
+      double u = rng.Uniform(0.0, total);
+      bool chosen = false;
+      for (int t = 0; t < kNumQueryTypes && !chosen; ++t) {
+        if (weights[t] <= 0) continue;
+        pick = t;
+        chosen = u < weights[t];
+        u -= weights[t];
+      }
+    }
+    switch (pick) {
+      case kTypePoint:
+        queries.push_back(PointQuery<D>(b.Center()));
+        break;
+      case kTypeCount:
+        queries.push_back(CountQuery<D>(b));
+        break;
+      case kTypeKnn:
+        queries.push_back(KNearestQuery<D>(b.Center(), spec.knn_k));
+        break;
+      default:
+        queries.push_back(RangeQuery<D>(b));
+        break;
+    }
+  }
+  return queries;
+}
+
+/// Parses a `--mix` specification of the form
+/// `range:0.7,point:0.2,count:0.05,knn:0.05` (types may be omitted; their
+/// weight defaults to 0). Returns false on unknown type names, malformed
+/// pairs, or weights that are negative, non-numeric, or trailed by garbage.
+inline bool ParseWorkloadMix(const std::string& s, WorkloadMix* mix) {
+  WorkloadMix parsed;
+  parsed.range = 0;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    const std::string part = s.substr(start, end - start);
+    start = end + 1;
+    if (part.empty()) continue;
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string name = part.substr(0, colon);
+    const char* weight_text = part.c_str() + colon + 1;
+    char* weight_end = nullptr;
+    const double weight = std::strtod(weight_text, &weight_end);
+    if (weight_end == weight_text || *weight_end != '\0') return false;
+    if (!(weight >= 0) || weight > 1e12) return false;  // rejects NaN/inf
+    if (name == "range") {
+      parsed.range = weight;
+    } else if (name == "point") {
+      parsed.point = weight;
+    } else if (name == "count") {
+      parsed.count = weight;
+    } else if (name == "knn") {
+      parsed.knn = weight;
+    } else {
+      return false;
+    }
+  }
+  if (parsed.Total() <= 0) return false;
+  *mix = parsed;
+  return true;
+}
+
+}  // namespace quasii::bench
+
+#endif  // QUASII_BENCH_WORKLOAD_H_

@@ -4,11 +4,13 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/query.h"
 #include "geometry/box.h"
 
 namespace quasii {
@@ -156,6 +158,83 @@ class CrackArray {
   /// and diagnostics; hot loops use the bound columns instead).
   const Box<D>& box(std::size_t i) const { return (*data_)[ids_[i]]; }
 
+  /// Leaf scan of rows `[begin, end)` against `(q, predicate)`, streaming
+  /// the matches into `emit`: per dimension one branchless,
+  /// auto-vectorizable pass ANDs the predicate's interval test over the
+  /// dense bound columns into a candidate mask — dimension-wise the tests
+  /// *are* `Box::Intersects` / `ContainsBox`, so mask survivors are exact
+  /// results and no box is ever materialized. Survivor ids are compressed
+  /// branchlessly into a dense run and handed over as one `AddRun` (one
+  /// virtual call per scan, not per object) — or, on count-only
+  /// executions, only their number is accumulated and the id column is
+  /// never read.
+  ///
+  /// For `kIntersects`, dimensions set in `covered_dims` are proven
+  /// overlapping by the caller's structure (e.g. a QUASII slice whose value
+  /// interval lies inside the query's) and skip their pass; a fully covered
+  /// scan emits its whole range without testing anything. Containment
+  /// predicates ignore the mask: covered centre keys prove intersection,
+  /// not containment.
+  void StreamScan(std::size_t begin, std::size_t end, const Box<D>& q,
+                  RangePredicate predicate, unsigned covered_dims,
+                  MatchEmitter* emit) {
+    const std::size_t len = end - begin;
+    if (len == 0) return;
+    if (predicate != RangePredicate::kIntersects) covered_dims = 0;
+    if (covered_dims == (1u << D) - 1) {
+      if (emit->count_only()) {
+        emit->AddAnonymous(len);
+      } else {
+        emit->AddRun(ids_.data() + begin, len);
+      }
+      return;
+    }
+    scan_mask_.assign(len, 1);
+    std::uint8_t* mask = scan_mask_.data();
+    for (int d = 0; d < D; ++d) {
+      if (covered_dims & (1u << d)) continue;
+      const Scalar qlo = q.lo[d];
+      const Scalar qhi = q.hi[d];
+      const Scalar* los = los_[static_cast<std::size_t>(d)].data() + begin;
+      const Scalar* his = his_[static_cast<std::size_t>(d)].data() + begin;
+      switch (predicate) {
+        case RangePredicate::kIntersects:
+          for (std::size_t i = 0; i < len; ++i) {
+            mask[i] &=
+                static_cast<std::uint8_t>((los[i] <= qhi) & (his[i] >= qlo));
+          }
+          break;
+        case RangePredicate::kContains:  // object ⊇ q, per dimension
+          for (std::size_t i = 0; i < len; ++i) {
+            mask[i] &=
+                static_cast<std::uint8_t>((los[i] <= qlo) & (his[i] >= qhi));
+          }
+          break;
+        case RangePredicate::kContainedBy:  // object ⊆ q, per dimension
+          for (std::size_t i = 0; i < len; ++i) {
+            mask[i] &=
+                static_cast<std::uint8_t>((los[i] >= qlo) & (his[i] <= qhi));
+          }
+          break;
+      }
+    }
+    if (emit->count_only()) {
+      std::uint64_t matches = 0;
+      for (std::size_t i = 0; i < len; ++i) matches += mask[i];
+      emit->AddAnonymous(matches);
+      return;
+    }
+    scan_ids_.resize(len);
+    const ObjectId* ids = ids_.data() + begin;
+    ObjectId* out = scan_ids_.data();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      out[m] = ids[i];
+      m += mask[i];
+    }
+    if (m > 0) emit->AddRun(out, m);
+  }
+
   /// One crack step: partitions `[begin, end)` so keys in dimension `d`
   /// below `v` precede the rest, co-moving ids, bounds, and the sibling key
   /// columns. Returns the split position.
@@ -250,6 +329,9 @@ class CrackArray {
   std::vector<ObjectId> ids_;
   /// Reused by `MedianSplit` so pivot selection never reallocates.
   std::vector<Scalar> scratch_;
+  /// Reused by `StreamScan`: candidate mask and compressed survivor ids.
+  std::vector<std::uint8_t> scan_mask_;
+  std::vector<ObjectId> scan_ids_;
 };
 
 }  // namespace quasii

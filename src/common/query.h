@@ -1,0 +1,351 @@
+#ifndef QUASII_COMMON_QUERY_H_
+#define QUASII_COMMON_QUERY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// The query types of the execution engine (the FESTIval-style query_type ×
+/// predicate matrix, adapted to the paper's volumetric setting):
+///  - kRange:    all objects whose MBB relates to `box` per `predicate`;
+///  - kPoint:    all objects whose MBB contains `point` (a zero-extent
+///               range query — closed boxes make `[p, p]` a valid box);
+///  - kCount:    the *number* of `kRange` matches — executed without ever
+///               materializing ids (sinks receive anonymous match counts);
+///  - kKNearest: the `k` objects with smallest MBB distance to `point`,
+///               ties broken by smaller id.
+enum class QueryType { kRange, kPoint, kCount, kKNearest };
+
+/// Topological predicate of a range/count query, relating a candidate
+/// object's MBB `b` to the query box `q`. Both containment predicates imply
+/// intersection, so every index's intersection traversal is a valid
+/// candidate generator for all three.
+enum class RangePredicate {
+  kIntersects,   ///< b ∩ q ≠ ∅ (the paper's only query type)
+  kContains,     ///< b ⊇ q: the object covers the whole query box
+  kContainedBy,  ///< b ⊆ q: the object lies entirely inside the query box
+};
+
+/// A typed query description, consumed by `SpatialIndex::Execute`. Which
+/// fields are meaningful depends on `type`; use the factory functions below
+/// instead of aggregate-initializing.
+template <int D>
+struct Query {
+  QueryType type = QueryType::kRange;
+  RangePredicate predicate = RangePredicate::kIntersects;
+  /// kRange / kCount: the query box.
+  Box<D> box;
+  /// kPoint / kKNearest: the query point.
+  Point<D> point{};
+  /// kKNearest: number of neighbors requested.
+  std::size_t k = 0;
+};
+
+using Query2 = Query<2>;
+using Query3 = Query<3>;
+
+template <int D>
+Query<D> RangeQuery(const Box<D>& box,
+                    RangePredicate predicate = RangePredicate::kIntersects) {
+  Query<D> q;
+  q.type = QueryType::kRange;
+  q.predicate = predicate;
+  q.box = box;
+  return q;
+}
+
+template <int D>
+Query<D> PointQuery(const Point<D>& point) {
+  Query<D> q;
+  q.type = QueryType::kPoint;
+  q.point = point;
+  return q;
+}
+
+template <int D>
+Query<D> CountQuery(const Box<D>& box,
+                    RangePredicate predicate = RangePredicate::kIntersects) {
+  Query<D> q;
+  q.type = QueryType::kCount;
+  q.predicate = predicate;
+  q.box = box;
+  return q;
+}
+
+template <int D>
+Query<D> KNearestQuery(const Point<D>& point, std::size_t k) {
+  Query<D> q;
+  q.type = QueryType::kKNearest;
+  q.point = point;
+  q.k = k;
+  return q;
+}
+
+/// The exact refinement test of a range/count query.
+template <int D>
+constexpr bool MatchesPredicate(const Box<D>& object, const Box<D>& q,
+                                RangePredicate predicate) {
+  switch (predicate) {
+    case RangePredicate::kIntersects:
+      return object.Intersects(q);
+    case RangePredicate::kContains:
+      return object.ContainsBox(q);
+    case RangePredicate::kContainedBy:
+      return q.ContainsBox(object);
+  }
+  return false;
+}
+
+/// Result sink of the execution engine. Indexes stream matches into a sink
+/// instead of appending to a vector, so aggregate queries never materialize
+/// ids and bulk paths (a fully covered slice, a contained R-Tree node) cost
+/// one virtual call instead of one per object.
+///
+/// Contract: `Emit`/`EmitRun` deliver matching object ids (unique within a
+/// query); `AddMatches` delivers anonymous matches and is only used by the
+/// count-only execution path (`QueryType::kCount`) — an id-collecting sink
+/// never sees it for other query types. For `kKNearest`, ids arrive in
+/// ascending (distance, id) order.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// One matching object.
+  virtual void Emit(ObjectId id) = 0;
+
+  /// A contiguous run of matching ids (bulk fast path).
+  virtual void EmitRun(const ObjectId* ids, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Emit(ids[i]);
+  }
+
+  /// `n` anonymous matches (count-only execution paths).
+  virtual void AddMatches(std::uint64_t n) = 0;
+};
+
+/// Collects ids into a caller-owned vector — the sink behind the legacy
+/// `Query()` shim.
+class VectorSink final : public Sink {
+ public:
+  explicit VectorSink(std::vector<ObjectId>* out) : out_(out) {}
+  void Emit(ObjectId id) override { out_->push_back(id); }
+  void EmitRun(const ObjectId* ids, std::size_t n) override {
+    out_->insert(out_->end(), ids, ids + n);
+  }
+  /// Anonymous matches carry no ids; pair count queries with a `CountSink`.
+  void AddMatches(std::uint64_t) override {}
+
+ private:
+  std::vector<ObjectId>* out_;
+};
+
+/// Counts matches without storing anything — the sink for `kCount` queries.
+class CountSink final : public Sink {
+ public:
+  void Emit(ObjectId) override { ++count_; }
+  void EmitRun(const ObjectId*, std::size_t n) override { count_ += n; }
+  void AddMatches(std::uint64_t n) override { count_ += n; }
+  std::uint64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Streams or counts the matches of one box execution — the single home of
+/// the emit-vs-count convention every index's `ExecuteBox` follows: id
+/// paths `Add`/`AddRun` straight through to the sink, count-only paths
+/// accumulate locally and report one `AddMatches` total at `Flush` (so no
+/// id is ever materialized and the sink sees one call per query, not one
+/// per partition).
+class MatchEmitter {
+ public:
+  MatchEmitter(bool count_only, Sink* sink)
+      : count_only_(count_only), sink_(sink) {}
+
+  bool count_only() const { return count_only_; }
+
+  /// One matching object.
+  void Add(ObjectId id) {
+    if (count_only_) {
+      ++matches_;
+    } else {
+      sink_->Emit(id);
+    }
+  }
+
+  /// A contiguous run of matching ids (bulk fast path).
+  void AddRun(const ObjectId* ids, std::size_t n) {
+    if (count_only_) {
+      matches_ += n;
+    } else {
+      sink_->EmitRun(ids, n);
+    }
+  }
+
+  /// `n` matches resolved without ids — only legal on count-only
+  /// executions (bulk count paths that never touch an id column).
+  void AddAnonymous(std::uint64_t n) { matches_ += n; }
+
+  /// Reports the accumulated count to the sink. Call exactly once, at the
+  /// end of the execution; a no-op for id-streaming executions.
+  void Flush() {
+    if (count_only_) {
+      sink_->AddMatches(matches_);
+      matches_ = 0;
+    }
+  }
+
+ private:
+  bool count_only_;
+  Sink* sink_;
+  std::uint64_t matches_ = 0;
+};
+
+/// One kNN result: an object id and its squared MBB distance to the query
+/// point (squared distances order identically and avoid the sqrt).
+struct Neighbor {
+  ObjectId id = 0;
+  double distance_sq = 0;
+};
+
+/// Bounded best-k collector for nearest-neighbor execution: a max-heap of at
+/// most `k` (distance, id) pairs, ordered by distance with ties broken by
+/// smaller id so every index returns bit-identical kNN results.
+class TopKSink {
+ public:
+  explicit TopKSink(std::size_t k) : k_(k) {}
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Current pruning bound: the squared distance of the worst kept neighbor
+  /// once `k` are held, +inf before. A candidate with `distance_sq` strictly
+  /// above the bound can never enter; one exactly at the bound still can
+  /// (smaller id wins the tie), so prune with `>`, not `>=`.
+  double bound() const {
+    return full() && k_ > 0 ? heap_.front().distance_sq
+                            : std::numeric_limits<double>::infinity();
+  }
+
+  void Offer(ObjectId id, double distance_sq) {
+    if (k_ == 0) return;
+    const Neighbor cand{id, distance_sq};
+    if (heap_.size() < k_) {
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end(), Before);
+      return;
+    }
+    if (Before(cand, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Before);
+      heap_.back() = cand;
+      std::push_heap(heap_.begin(), heap_.end(), Before);
+    }
+  }
+
+  void Clear() { heap_.clear(); }
+
+  /// The kept neighbors in ascending (distance, id) order; empties the sink.
+  std::vector<Neighbor> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), Before);
+    return std::move(heap_);
+  }
+
+ private:
+  /// Strict weak order "a is a better (closer) neighbor than b". Used
+  /// directly as the max-heap comparator: the heap root is the *worst* kept
+  /// neighbor.
+  static bool Before(const Neighbor& a, const Neighbor& b) {
+    if (a.distance_sq != b.distance_sq) return a.distance_sq < b.distance_sq;
+    return a.id < b.id;
+  }
+
+  std::size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// Streams a TopKSink's results into a generic sink in ascending
+/// (distance, id) order — the tail of every `kKNearest` execution.
+inline void DrainTopK(TopKSink* topk, Sink* sink) {
+  for (const Neighbor& nb : topk->TakeSorted()) sink->Emit(nb.id);
+}
+
+/// Generic kNN driver for indexes without a dedicated nearest-neighbor
+/// traversal: probes cubes of doubling half-width around `pt` with the
+/// index's own range machinery — so incremental indexes (QUASII, SFCracker,
+/// Mosaic) keep cracking/refining under kNN workloads — until the current
+/// k-th best distance is provably covered by the probed cube.
+///
+/// Correctness: an object whose MBB distance to `pt` is `m <= r` has its
+/// closest point within the closed cube of half-width `r`, so its box
+/// intersects the cube and the probe reports it. Each round therefore sees
+/// *every* object at distance up to the cube's guaranteed half-width
+/// (`r_eff`, computed from the rounded float corners), and the loop stops
+/// when k candidates sit at or below it — or when the cube covers `bounds`,
+/// the MBB of the whole dataset, and everything has been probed.
+///
+/// `probe(box, &out)` must append all ids whose MBB intersects `box`
+/// (duplicates within one probe are not allowed); `data` maps ids back to
+/// boxes for the exact distance. The TopK set is rebuilt from scratch each
+/// round (probes are nested, so later rounds re-find earlier candidates).
+template <int D, typename Probe>
+void ExpandingRingKNearest(const std::vector<Box<D>>& data,
+                           const Box<D>& bounds, const Point<D>& pt,
+                           std::size_t k, TopKSink* topk, Probe&& probe) {
+  if (k == 0 || data.empty() || bounds.IsEmpty()) return;
+  double max_extent = 0;
+  for (int d = 0; d < D; ++d) {
+    max_extent = std::max(max_extent, static_cast<double>(bounds.Extent(d)));
+  }
+  // Initial half-width sized to the expected k-neighborhood, but at least
+  // the distance to the data region (a far-away query point would otherwise
+  // waste rounds on empty cubes) and strictly positive (degenerate bounds).
+  double r = 0.5 * max_extent *
+             std::pow((static_cast<double>(k) + 1.0) /
+                          static_cast<double>(data.size()),
+                      1.0 / D);
+  r = std::max(r, std::sqrt(bounds.MinDistSquaredTo(pt)));
+  if (!(r > 0)) r = 1;
+
+  std::vector<ObjectId> candidates;
+  while (true) {
+    Box<D> cube;
+    bool covers_all = true;
+    double r_eff = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < D; ++d) {
+      cube.lo[d] = static_cast<Scalar>(static_cast<double>(pt[d]) - r);
+      cube.hi[d] = static_cast<Scalar>(static_cast<double>(pt[d]) + r);
+      covers_all = covers_all && cube.lo[d] <= bounds.lo[d] &&
+                   cube.hi[d] >= bounds.hi[d];
+      r_eff = std::min(r_eff, static_cast<double>(pt[d]) -
+                                  static_cast<double>(cube.lo[d]));
+      r_eff = std::min(r_eff, static_cast<double>(cube.hi[d]) -
+                                  static_cast<double>(pt[d]));
+    }
+    // Probe the part of the cube that can hold objects: every object box
+    // lies inside `bounds`, so clamping loses nothing and keeps probe
+    // coordinates finite for grid/Z-order arithmetic.
+    const Box<D> probe_box = cube.IntersectionWith(bounds);
+    candidates.clear();
+    if (!probe_box.IsEmpty()) probe(probe_box, &candidates);
+    topk->Clear();
+    for (const ObjectId id : candidates) {
+      topk->Offer(id, data[id].MinDistSquaredTo(pt));
+    }
+    if (covers_all) return;
+    if (topk->full() && topk->bound() <= r_eff * r_eff) return;
+    r *= 2;
+  }
+}
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_QUERY_H_

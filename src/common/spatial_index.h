@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/query.h"
 #include "common/query_stats.h"
 #include "geometry/box.h"
 
@@ -28,8 +29,18 @@ using Entry3 = Entry<3>;
 ///      the paper's static setting, Section 2);
 ///   2. call `Build()` once — static indexes pay their pre-processing cost
 ///      here, incremental ones return immediately;
-///   3. call `Query()` repeatedly. Incremental indexes reorganize internal
-///      state as a side effect, which is why `Query` is non-const.
+///   3. call `Execute()` repeatedly with typed queries (range with a
+///      topological predicate, point, count, k-nearest), streaming results
+///      into a `Sink`. Incremental indexes reorganize internal state as a
+///      side effect, which is why `Execute` is non-const.
+///
+/// `Execute` normalizes the query — empty boxes short-circuit (an inverted
+/// box matches nothing and must not trigger reorganization), a point query
+/// becomes the zero-extent closed range `[p, p]` — and dispatches to the two
+/// per-index primitives: `ExecuteBox` (range/point/count; `count_only`
+/// switches the leaf paths to anonymous `Sink::AddMatches` so no id is ever
+/// materialized) and `ExecuteKNearest` (results emitted in ascending
+/// (distance, id) order).
 template <int D>
 class SpatialIndex {
  public:
@@ -41,15 +52,75 @@ class SpatialIndex {
   /// One-off pre-processing. No-op for incremental indexes.
   virtual void Build() {}
 
-  /// Appends to `*result` the ids of all objects whose MBB intersects `q`.
-  /// Result order is unspecified; ids are unique.
-  virtual void Query(const Box<D>& q, std::vector<ObjectId>* result) = 0;
+  /// Typed query execution: the one entry point every query type funnels
+  /// through.
+  virtual void Execute(const quasii::Query<D>& query, Sink& sink) {
+    switch (query.type) {
+      case QueryType::kRange:
+        if (query.box.IsEmpty()) return;
+        ExecuteBox(query.box, query.predicate, /*count_only=*/false, sink);
+        return;
+      case QueryType::kPoint: {
+        const Box<D> point_box(query.point, query.point);
+        ExecuteBox(point_box, RangePredicate::kIntersects,
+                   /*count_only=*/false, sink);
+        return;
+      }
+      case QueryType::kCount:
+        if (query.box.IsEmpty()) return;
+        ExecuteBox(query.box, query.predicate, /*count_only=*/true, sink);
+        return;
+      case QueryType::kKNearest:
+        if (query.k == 0) return;
+        ExecuteKNearest(query.point, query.k, sink);
+        return;
+    }
+  }
+
+  /// Legacy single-shot API: appends to `*result` the ids of all objects
+  /// whose MBB intersects `q` (order unspecified, ids unique). A thin shim
+  /// over `Execute` kept so pre-engine callers keep compiling.
+  void Query(const Box<D>& q, std::vector<ObjectId>* result) {
+    VectorSink sink(result);
+    Execute(RangeQuery<D>(q), sink);
+  }
 
   /// Cumulative work counters since construction.
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  protected:
+  /// Range/point/count execution over a non-empty (possibly zero-extent)
+  /// box. Implementations stream ids via `Emit`/`EmitRun` — or, when
+  /// `count_only`, report anonymous totals via `AddMatches` and never touch
+  /// ids.
+  virtual void ExecuteBox(const Box<D>& q, RangePredicate predicate,
+                          bool count_only, Sink& sink) = 0;
+
+  /// k-nearest-neighbor execution (`k >= 1`): emit the ids of the `k`
+  /// objects with smallest `Box::MinDistSquaredTo(pt)` in ascending
+  /// (distance, id) order (fewer when the dataset is smaller than `k`).
+  virtual void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                               Sink& sink) = 0;
+
+  /// Shared `ExecuteKNearest` body for indexes without a dedicated
+  /// nearest-neighbor traversal: expanding-ring range probes through this
+  /// index's own `ExecuteBox` (so incremental indexes keep reorganizing
+  /// under kNN workloads), drained into `sink` in (distance, id) order.
+  /// `data` maps ids back to boxes; `bounds` is the dataset MBB.
+  void RingKNearest(const std::vector<Box<D>>& data, const Box<D>& bounds,
+                    const Point<D>& pt, std::size_t k, Sink& sink) {
+    TopKSink topk(k);
+    ExpandingRingKNearest<D>(
+        data, bounds, pt, k, &topk,
+        [this](const Box<D>& cube, std::vector<ObjectId>* out) {
+          VectorSink probe_sink(out);
+          ExecuteBox(cube, RangePredicate::kIntersects, /*count_only=*/false,
+                     probe_sink);
+        });
+    DrainTopK(&topk, &sink);
+  }
+
   QueryStats stats_;
 };
 

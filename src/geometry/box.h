@@ -13,6 +13,16 @@ namespace quasii {
 /// dimension. Intervals are closed: two boxes sharing only a face intersect,
 /// matching the paper's definition `b ∩ q ≠ ∅`.
 ///
+/// Degeneracy semantics (load-bearing for the query engine, do not change
+/// casually):
+///  - `lo[d] > hi[d]` in any dimension makes the box **empty**: it contains
+///    no point, intersects nothing, and `IsEmpty()` is true. The roster-wide
+///    inverted-query guards key off exactly this.
+///  - `lo[d] == hi[d]` is a **valid zero-extent box** (a point, line, or
+///    plane query), *not* an empty one: closed intervals mean `[p, p]`
+///    contains `p`, so a point query is the zero-extent range `[p, p]` and
+///    must never be swallowed by an `IsEmpty()` guard.
+///
 /// A default-constructed box is *empty* (`lo = +inf`, `hi = -inf`), the
 /// identity for `ExpandToInclude`.
 template <int D>
@@ -51,7 +61,9 @@ struct Box {
     return b;
   }
 
-  /// True when the box contains no point (some `lo[d] > hi[d]`).
+  /// True when the box contains no point (some `lo[d] > hi[d]`). A
+  /// zero-extent box (`lo[d] == hi[d]`) is NOT empty — see the class
+  /// comment; point queries rely on it.
   constexpr bool IsEmpty() const {
     for (int d = 0; d < D; ++d) {
       if (lo[d] > hi[d]) return true;
@@ -134,6 +146,24 @@ struct Box {
     Point<D> c;
     for (int d = 0; d < D; ++d) c[d] = (lo[d] + hi[d]) / Scalar{2};
     return c;
+  }
+
+  /// Squared Euclidean distance from `p` to the nearest point of the box
+  /// (0 when `p` lies inside). The MINDIST of R-Tree nearest-neighbor
+  /// search, accumulated in double so large coordinates don't lose the
+  /// per-dimension differences.
+  constexpr double MinDistSquaredTo(const Point<D>& p) const {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      double diff = 0.0;
+      if (p[d] < lo[d]) {
+        diff = static_cast<double>(lo[d]) - static_cast<double>(p[d]);
+      } else if (p[d] > hi[d]) {
+        diff = static_cast<double>(p[d]) - static_cast<double>(hi[d]);
+      }
+      sum += diff * diff;
+    }
+    return sum;
   }
 
   /// The largest intersection of this box with `o` (empty if disjoint).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 
@@ -66,7 +67,9 @@ class GridIndex final : public SpatialIndex<D> {
       strides_[d] = strides_[d - 1] * static_cast<std::size_t>(p);
     }
     half_extent_ = Point<D>{};
+    data_bounds_ = Box<D>::Empty();
     for (const Box<D>& b : data) {
+      data_bounds_.ExpandToInclude(b);
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
       }
@@ -104,13 +107,16 @@ class GridIndex final : public SpatialIndex<D> {
     built_ = true;
   }
 
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // an empty box contains no points
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
     if (!built_) Build();
     const Dataset<D>& data = *data_;
+    MatchEmitter emit(count_only, &sink);
     if (params_.assignment == GridAssignment::kQueryExtension) {
       // The query is extended by half the max object extent so that every
-      // intersecting object's *centre* cell is covered.
+      // intersecting object's *centre* cell is covered (both containment
+      // predicates imply intersection, so the candidate set stays valid).
       Box<D> extended = q;
       for (int d = 0; d < D; ++d) {
         extended.lo[d] -= half_extent_[d];
@@ -122,10 +128,13 @@ class GridIndex final : public SpatialIndex<D> {
              ++k) {
           ++this->stats_.objects_tested;
           const ObjectId id = entries_[k];
-          if (data[id].Intersects(q)) result->push_back(id);
+          if (MatchesPredicate(data[id], q, predicate)) emit.Add(id);
         }
       });
     } else {
+      // Replication stores an object in every overlapped cell, so the epoch
+      // stamps must de-duplicate for counting as well — a candidate seen
+      // twice would otherwise be counted twice.
       ++epoch_;
       if (epoch_ == 0) {  // counter wrapped: restart stamps
         std::fill(last_seen_.begin(), last_seen_.end(), 0);
@@ -142,10 +151,17 @@ class GridIndex final : public SpatialIndex<D> {
           }
           last_seen_[id] = epoch_;
           ++this->stats_.objects_tested;
-          if (data[id].Intersects(q)) result->push_back(id);
+          if (MatchesPredicate(data[id], q, predicate)) emit.Add(id);
         }
       });
     }
+    emit.Flush();
+  }
+
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    if (!built_) Build();
+    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
   }
 
  private:
@@ -210,6 +226,8 @@ class GridIndex final : public SpatialIndex<D> {
   std::array<double, D> inv_cell_width_{};
   std::array<std::size_t, D> strides_{};
   Point<D> half_extent_{};
+  /// MBB of the dataset — the expanding-ring kNN termination bound.
+  Box<D> data_bounds_;
   std::vector<std::size_t> cell_start_;
   std::vector<ObjectId> entries_;
 

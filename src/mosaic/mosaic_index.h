@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <string_view>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 
@@ -49,24 +51,41 @@ class MosaicIndex final : public SpatialIndex<D> {
 
   std::string_view name() const override { return "Mosaic"; }
 
-  /// Incremental index: all structure is built inside `Query`.
+  /// Incremental index: all structure is built inside query execution.
   void Build() override {}
 
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // inverted bounds must not trigger splits
+  const Node& root() const { return root_; }
+  bool initialized() const { return initialized_; }
+
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
     if (!initialized_) Initialize();
     Box<D> extended = q;
     for (int d = 0; d < D; ++d) {
       extended.lo[d] -= half_extent_[d];
       extended.hi[d] += half_extent_[d];
     }
-    QueryNode(&root_, 0, q, extended, result);
+    MatchEmitter emit(count_only, &sink);
+    const BoxExec ctx{&q, &extended, predicate, &emit};
+    QueryNode(&root_, 0, ctx);
+    emit.Flush();
   }
 
-  const Node& root() const { return root_; }
-  bool initialized() const { return initialized_; }
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    if (!initialized_) Initialize();
+    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+  }
 
  private:
+  /// One box-driven execution, threaded through the recursive descent.
+  struct BoxExec {
+    const Box<D>* q;
+    const Box<D>* extended;
+    RangePredicate predicate;
+    MatchEmitter* emit;
+  };
   static constexpr std::size_t kChildren = std::size_t{1} << D;
 
   void Initialize() {
@@ -75,7 +94,9 @@ class MosaicIndex final : public SpatialIndex<D> {
     root_.objects.resize(data.size());
     std::iota(root_.objects.begin(), root_.objects.end(), ObjectId{0});
     half_extent_ = Point<D>{};
+    data_bounds_ = Box<D>::Empty();
     for (const Box<D>& b : data) {
+      data_bounds_.ExpandToInclude(b);
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
       }
@@ -116,8 +137,7 @@ class MosaicIndex final : public SpatialIndex<D> {
     node->objects.shrink_to_fit();
   }
 
-  void QueryNode(Node* node, int depth, const Box<D>& q,
-                 const Box<D>& extended, std::vector<ObjectId>* result) {
+  void QueryNode(Node* node, int depth, const BoxExec& ctx) {
     ++this->stats_.partitions_visited;
     if (node->is_leaf()) {
       if (node->objects.size() > params_.leaf_capacity &&
@@ -126,16 +146,18 @@ class MosaicIndex final : public SpatialIndex<D> {
         // fall through to the children loop below
       } else {
         const Dataset<D>& data = *data_;
+        this->stats_.objects_tested += node->objects.size();
         for (const ObjectId id : node->objects) {
-          ++this->stats_.objects_tested;
-          if (data[id].Intersects(q)) result->push_back(id);
+          if (MatchesPredicate(data[id], *ctx.q, ctx.predicate)) {
+            ctx.emit->Add(id);
+          }
         }
         return;
       }
     }
     for (Node& child : node->children) {
-      if (child.bounds.Intersects(extended)) {
-        QueryNode(&child, depth + 1, q, extended, result);
+      if (child.bounds.Intersects(*ctx.extended)) {
+        QueryNode(&child, depth + 1, ctx);
       }
     }
   }
@@ -146,6 +168,8 @@ class MosaicIndex final : public SpatialIndex<D> {
   bool initialized_ = false;
   Node root_;
   Point<D> half_extent_{};
+  /// MBB of the dataset — the expanding-ring kNN termination bound.
+  Box<D> data_bounds_;
 };
 
 }  // namespace quasii

@@ -13,6 +13,7 @@
 
 #include "common/crack_array.h"
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 
@@ -23,8 +24,8 @@ namespace quasii {
 /// The structure is a hierarchy of *slices*, one level per dimension: level-d
 /// slices partition their parent's entry range along dimension d, so a fully
 /// refined index resembles a lazily built STR packing (see `StrSort`). All
-/// work happens inside `Query`: a query descends the hierarchy and refines
-/// only the slices it touches, cracking them at the query bounds
+/// work happens inside query execution: a query descends the hierarchy and
+/// refines only the slices it touches, cracking them at the query bounds
 /// (`CrackOnAxis`) and then sub-slicing the query-covered piece at median
 /// keys until it obeys the level's size threshold. Untouched regions keep
 /// their coarse slices, so reorganization cost is proportional to what the
@@ -43,9 +44,17 @@ namespace quasii {
 ///
 /// Storage is the shared structure-of-arrays `CrackArray` core: cracks and
 /// median splits compare precomputed 4-byte keys instead of loading whole
-/// entry structs, and leaf scans run branchless vectorizable passes over the
-/// per-dimension bound columns (skipping dimensions the slice hierarchy has
-/// already proven to overlap) instead of box-at-a-time intersection tests.
+/// entry structs, and leaf scans are `CrackArray::StreamScan` — branchless
+/// vectorizable passes over the per-dimension bound columns that stream the
+/// survivors straight into the query's `Sink`.
+///
+/// Every query type of the engine drives cracking:
+///  - point queries are zero-extent ranges and refine the slices around the
+///    probed point;
+///  - count queries descend and crack exactly like ranges but resolve
+///    leaves via anonymous `AddMatches` — the id column is never read;
+///  - kNN runs an expanding ring of range probes through the normal descent,
+///    so nearest-neighbor workloads build the index too.
 template <int D>
 class QuasiiIndex final : public SpatialIndex<D> {
  public:
@@ -78,24 +87,9 @@ class QuasiiIndex final : public SpatialIndex<D> {
 
   std::string_view name() const override { return "QUASII"; }
 
-  /// Incremental index: `Build()` is a no-op; all work happens in `Query`.
+  /// Incremental index: `Build()` is a no-op; all work happens at query
+  /// time.
   void Build() override {}
-
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // inverted bounds would corrupt slice order
-    if (!initialized_) Initialize();
-    if (array_.empty()) return;
-    // Half-open extended query: `[lo, hi)` per dimension covers every centre
-    // key of an object whose MBB can intersect `q` (centre-based assignment
-    // plus half the maximum extent on both sides).
-    Box<D> ext;
-    for (int d = 0; d < D; ++d) {
-      ext.lo[d] = q.lo[d] - half_extent_[d];
-      ext.hi[d] = std::nextafter(q.hi[d] + half_extent_[d],
-                                 std::numeric_limits<Scalar>::infinity());
-    }
-    Visit(&root_, q, ext, 0u, result);
-  }
 
   /// Structural accessors for tests and analyses.
   const std::vector<Slice>& root_slices() const { return root_; }
@@ -105,13 +99,52 @@ class QuasiiIndex final : public SpatialIndex<D> {
   }
   bool initialized() const { return initialized_; }
 
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
+    if (!initialized_) Initialize();
+    if (array_.empty()) return;
+    // Half-open extended query: `[lo, hi)` per dimension covers every centre
+    // key of an object whose MBB can intersect `q` (centre-based assignment
+    // plus half the maximum extent on both sides). Containment predicates
+    // imply intersection, so the same descent generates their candidates.
+    Box<D> ext;
+    for (int d = 0; d < D; ++d) {
+      ext.lo[d] = q.lo[d] - half_extent_[d];
+      ext.hi[d] = std::nextafter(q.hi[d] + half_extent_[d],
+                                 std::numeric_limits<Scalar>::infinity());
+    }
+    MatchEmitter emit(count_only, &sink);
+    const BoxExec ctx{&q, predicate, &emit};
+    Visit(&root_, ctx, ext, 0u);
+    emit.Flush();
+  }
+
+  /// Expanding-ring kNN: range probes of doubling radius run through the
+  /// normal descent, so each probe cracks the slices it touches — the index
+  /// keeps converging under nearest-neighbor workloads.
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    if (!initialized_) Initialize();
+    if (array_.empty()) return;
+    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+  }
+
  private:
+  /// One box-driven execution, threaded through the recursive descent.
+  struct BoxExec {
+    const Box<D>* q;
+    RangePredicate predicate;
+    MatchEmitter* emit;
+  };
+
   /// First-query work: build the structure-of-arrays columns and derive the
   /// per-level thresholds and the query-extension amounts.
   void Initialize() {
     array_.Reset(*data_);
     half_extent_ = MaxExtents(*data_);
     for (int d = 0; d < D; ++d) half_extent_[d] /= 2;
+    data_bounds_ = BoundingBoxOf(*data_);
     ComputeThresholds(array_.size());
     root_.clear();
     Slice root;
@@ -242,8 +275,8 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// the rest. Refinement pieces are stitched into a rebuilt list in one
   /// pass instead of `erase`+`insert` splicing, so a query that cracks k
   /// slices costs one O(list) rebuild, not k of them.
-  void Visit(std::vector<Slice>* slices, const Box<D>& q, const Box<D>& ext,
-             unsigned covered, std::vector<ObjectId>* result) {
+  void Visit(std::vector<Slice>* slices, const BoxExec& ctx, const Box<D>& ext,
+             unsigned covered) {
     const int d = slices->front().level;
     std::vector<Slice>& rebuilt = visit_scratch_[static_cast<std::size_t>(d)];
     bool rebuilding = false;
@@ -263,11 +296,11 @@ class QuasiiIndex final : public SpatialIndex<D> {
         }
         std::vector<Slice>& pieces = Refine(std::move(s), ext);
         for (Slice& piece : pieces) {
-          Process(&piece, q, ext, covered, result);
+          Process(&piece, ctx, ext, covered);
           rebuilt.push_back(std::move(piece));
         }
       } else {
-        if (!outside) Process(&s, q, ext, covered, result);
+        if (!outside) Process(&s, ctx, ext, covered);
         if (rebuilding) rebuilt.push_back(std::move(s));
       }
     }
@@ -282,15 +315,18 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// bitmask of dimensions whose slice value range lies inside the query's
   /// own interval — every centre key there is inside `q`, which (as
   /// `box.lo <= centre <= box.hi`) already proves the box overlaps `q` in
-  /// that dimension, so the leaf scan skips its bound test.
-  void Process(Slice* s, const Box<D>& q, const Box<D>& ext, unsigned covered,
-               std::vector<ObjectId>* result) {
+  /// that dimension, so the leaf scan skips its bound test (intersection
+  /// predicate only; `StreamScan` ignores the mask for containment).
+  void Process(Slice* s, const BoxExec& ctx, const Box<D>& ext,
+               unsigned covered) {
     const int d = s->level;
     if (s->size() == 0 || s->lo >= ext.hi[d] || s->hi <= ext.lo[d]) return;
-    if (q.lo[d] <= s->lo && s->hi <= q.hi[d]) covered |= 1u << d;
+    if (ctx.q->lo[d] <= s->lo && s->hi <= ctx.q->hi[d]) covered |= 1u << d;
     ++this->stats_.partitions_visited;
     if (d == D - 1) {
-      ScanLeaf(*s, q, covered, result);
+      this->stats_.objects_tested += s->size();
+      array_.StreamScan(s->begin, s->end, *ctx.q, ctx.predicate, covered,
+                        ctx.emit);
       return;
     }
     if (s->children.empty()) {
@@ -302,42 +338,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
       child.hi = std::numeric_limits<Scalar>::infinity();
       s->children.push_back(std::move(child));
     }
-    Visit(&s->children, q, ext, covered, result);
-  }
-
-  /// Leaf scan on the dense bound columns: per uncovered dimension one
-  /// branchless, auto-vectorizable pass ANDs the exact overlap test
-  /// `lo[d] <= q.hi[d] && hi[d] >= q.lo[d]` into a candidate mask —
-  /// dimension-wise this *is* `Box::Intersects`, so mask survivors are true
-  /// results and no box is ever loaded. Dimensions proven to overlap by the
-  /// `covered` mask skip their pass entirely; a slice covered in every
-  /// dimension is emitted without testing anything. Stats are batched per
-  /// slice, not per object.
-  void ScanLeaf(const Slice& s, const Box<D>& q, unsigned covered,
-                std::vector<ObjectId>* result) {
-    this->stats_.objects_tested += s.size();
-    const std::size_t len = s.size();
-    const ObjectId* ids = array_.ids().data() + s.begin;
-    if (covered == (1u << D) - 1) {
-      result->insert(result->end(), ids, ids + len);
-      return;
-    }
-    scan_mask_.assign(len, 1);
-    std::uint8_t* mask = scan_mask_.data();
-    for (int d = 0; d < D; ++d) {
-      if (covered & (1u << d)) continue;
-      const Scalar qlo = q.lo[d];
-      const Scalar qhi = q.hi[d];
-      const Scalar* los = array_.lo_col(d).data() + s.begin;
-      const Scalar* his = array_.hi_col(d).data() + s.begin;
-      for (std::size_t i = 0; i < len; ++i) {
-        mask[i] &=
-            static_cast<std::uint8_t>((los[i] <= qhi) & (his[i] >= qlo));
-      }
-    }
-    for (std::size_t i = 0; i < len; ++i) {
-      if (mask[i]) result->push_back(ids[i]);
-    }
+    Visit(&s->children, ctx, ext, covered);
   }
 
   const Dataset<D>* data_;
@@ -346,6 +347,8 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// Shared structure-of-arrays cracking core (keys, ids, boxes).
   CrackArray<D> array_;
   Point<D> half_extent_{};
+  /// MBB of the dataset — the expanding-ring kNN termination bound.
+  Box<D> data_bounds_;
   std::array<std::size_t, D> threshold_{};
   /// Level-0 slices, ordered by array position (== key order).
   std::vector<Slice> root_;
@@ -356,8 +359,6 @@ class QuasiiIndex final : public SpatialIndex<D> {
   std::vector<Slice> split_stack_;
   std::array<std::vector<Slice>, D> refine_scratch_;
   std::array<std::vector<Slice>, D> visit_scratch_;
-  /// Leaf-scan candidate mask, reused across scans.
-  std::vector<std::uint8_t> scan_mask_;
 };
 
 }  // namespace quasii

@@ -2,10 +2,13 @@
 #define QUASII_RTREE_RTREE_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <queue>
 #include <string_view>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 #include "rtree/str_pack.h"
@@ -20,6 +23,16 @@ namespace quasii {
 /// plain vector of nodes whose children are a consecutive range of the level
 /// below (or of the entry array for leaves). This keeps traversal
 /// cache-friendly and makes structural invariants easy to check in tests.
+///
+/// Per-type fast paths of the query engine:
+///  - `kContains` prunes with `node.box ⊇ q` (an object containing the
+///    query forces every ancestor MBB to contain it too);
+///  - `kContainedBy` bulk-resolves nodes whose MBB lies inside `q` — every
+///    entry below matches without a single box test;
+///  - `kCount` combines the above with per-node subtree counts, so a node
+///    fully inside an intersection/containment count adds its `count`
+///    without descending (and never touches an id);
+///  - `kKNearest` is classic best-first search over node MBB distances.
 template <int D>
 class RTreeIndex final : public SpatialIndex<D> {
  public:
@@ -34,6 +47,8 @@ class RTreeIndex final : public SpatialIndex<D> {
     /// otherwise.
     std::size_t begin = 0;
     std::size_t end = 0;
+    /// Number of entries in the subtree — the `kCount` bulk path.
+    std::size_t count = 0;
   };
 
   /// Copies `data` into the internal entry array (STR reorders it).
@@ -55,6 +70,7 @@ class RTreeIndex final : public SpatialIndex<D> {
       Node node;
       node.begin = begin;
       node.end = std::min(begin + cap, entries_.size());
+      node.count = node.end - node.begin;
       for (std::size_t i = node.begin; i < node.end; ++i) {
         node.box.ExpandToInclude(entries_[i].box);
       }
@@ -75,6 +91,7 @@ class RTreeIndex final : public SpatialIndex<D> {
         node.end = std::min(begin + cap, below.size());
         for (std::size_t i = node.begin; i < node.end; ++i) {
           node.box.ExpandToInclude(below[i].box);
+          node.count += below[i].count;
         }
         parents.push_back(node);
       }
@@ -87,33 +104,128 @@ class RTreeIndex final : public SpatialIndex<D> {
     built_ = true;
   }
 
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // an empty box contains no points
-    if (!built_) Build();
-    QueryNode(q, levels_.size() - 1, 0, result);
-  }
-
   /// Structural accessors for tests and benchmarks.
   const std::vector<Entry<D>>& entries() const { return entries_; }
   const std::vector<std::vector<Node>>& levels() const { return levels_; }
   std::size_t depth() const { return levels_.size(); }
 
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
+    if (!built_) Build();
+    MatchEmitter emit(count_only, &sink);
+    const BoxExec ctx{&q, predicate, &emit};
+    QueryNode(ctx, levels_.size() - 1, 0);
+    emit.Flush();
+  }
+
+  /// Best-first nearest-neighbor search [Hjaltason & Samet]: a min-heap of
+  /// nodes ordered by MBB distance to the query point; leaves offer their
+  /// entries to the bounded best-k heap; nodes farther than the current
+  /// k-th best distance are pruned (`>` keeps bound-distance ties alive so
+  /// the (distance, id) tie-break stays index-independent).
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    if (!built_) Build();
+    TopKSink topk(k);
+    struct QueueItem {
+      double dist_sq;
+      std::size_t level;
+      std::size_t idx;
+      bool operator>(const QueueItem& o) const { return dist_sq > o.dist_sq; }
+    };
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        frontier;
+    frontier.push(QueueItem{
+        levels_.back()[0].box.MinDistSquaredTo(pt), levels_.size() - 1, 0});
+    while (!frontier.empty()) {
+      const QueueItem item = frontier.top();
+      frontier.pop();
+      if (topk.full() && item.dist_sq > topk.bound()) break;
+      const Node& node = levels_[item.level][item.idx];
+      ++this->stats_.partitions_visited;
+      if (item.level == 0) {
+        this->stats_.objects_tested += node.end - node.begin;
+        for (std::size_t i = node.begin; i < node.end; ++i) {
+          topk.Offer(entries_[i].id, entries_[i].box.MinDistSquaredTo(pt));
+        }
+        continue;
+      }
+      const std::vector<Node>& below = levels_[item.level - 1];
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const double d = below[i].box.MinDistSquaredTo(pt);
+        if (!topk.full() || d <= topk.bound()) {
+          frontier.push(QueueItem{d, item.level - 1, i});
+        }
+      }
+    }
+    DrainTopK(&topk, &sink);
+  }
+
  private:
-  void QueryNode(const Box<D>& q, std::size_t level, std::size_t node_idx,
-                 std::vector<ObjectId>* result) {
+  struct BoxExec {
+    const Box<D>* q;
+    RangePredicate predicate;
+    MatchEmitter* emit;
+  };
+
+  /// Can some object below a node with this MBB still match the predicate?
+  static bool SubtreeMayMatch(const Box<D>& node_box, const Box<D>& q,
+                              RangePredicate predicate) {
+    if (predicate == RangePredicate::kContains) {
+      // An object containing q forces its node MBB to contain q as well.
+      return node_box.ContainsBox(q);
+    }
+    return node_box.Intersects(q);
+  }
+
+  /// Does every object below a node with this MBB match the predicate?
+  static bool SubtreeAllMatch(const Box<D>& node_box, const Box<D>& q,
+                              RangePredicate predicate) {
+    // A node MBB inside q puts every descendant box inside q: each one both
+    // intersects and is contained by the query. No such shortcut exists for
+    // kContains (the MBB says nothing about each object covering q).
+    return predicate != RangePredicate::kContains && q.ContainsBox(node_box);
+  }
+
+  void QueryNode(const BoxExec& ctx, std::size_t level, std::size_t node_idx) {
     const Node& node = levels_[level][node_idx];
     ++this->stats_.partitions_visited;
     if (level == 0) {
+      if (SubtreeAllMatch(node.box, *ctx.q, ctx.predicate)) {
+        // Whole leaf matches: resolve in bulk without a single box test.
+        this->stats_.objects_tested += node.count;
+        if (ctx.emit->count_only()) {
+          ctx.emit->AddAnonymous(node.count);
+        } else {
+          for (std::size_t i = node.begin; i < node.end; ++i) {
+            ctx.emit->Add(entries_[i].id);
+          }
+        }
+        return;
+      }
       for (std::size_t i = node.begin; i < node.end; ++i) {
         ++this->stats_.objects_tested;
-        if (entries_[i].box.Intersects(q)) result->push_back(entries_[i].id);
+        if (MatchesPredicate(entries_[i].box, *ctx.q, ctx.predicate)) {
+          ctx.emit->Add(entries_[i].id);
+        }
       }
       return;
     }
     const std::vector<Node>& below = levels_[level - 1];
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      if (below[i].box.Intersects(q)) {
-        QueryNode(q, level - 1, i, result);
+      if (ctx.emit->count_only() &&
+          SubtreeAllMatch(below[i].box, *ctx.q, ctx.predicate)) {
+        // Count bulk path: the whole subtree matches — add its size without
+        // descending or touching ids. The resolved entries still count as
+        // tested so `objects_tested >= matches` stays invariant.
+        this->stats_.objects_tested += below[i].count;
+        ctx.emit->AddAnonymous(below[i].count);
+        continue;
+      }
+      if (SubtreeMayMatch(below[i].box, *ctx.q, ctx.predicate)) {
+        QueryNode(ctx, level - 1, i);
       }
     }
   }

@@ -1,10 +1,11 @@
 #ifndef QUASII_SCAN_SCAN_INDEX_H_
 #define QUASII_SCAN_SCAN_INDEX_H_
 
+#include <cstdint>
 #include <string_view>
-#include <vector>
 
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 
@@ -12,7 +13,9 @@ namespace quasii {
 
 /// The index-less baseline: answers every query with a full pass over the
 /// dataset. This is one of the two options scientists have today (Section 2)
-/// and the reference every result set is validated against in the tests.
+/// and the reference every result set is validated against in the tests —
+/// including kNN, where its exhaustive heap pass is the oracle the indexed
+/// traversals are compared to.
 template <int D>
 class ScanIndex final : public SpatialIndex<D> {
  public:
@@ -21,14 +24,31 @@ class ScanIndex final : public SpatialIndex<D> {
 
   std::string_view name() const override { return "Scan"; }
 
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // an empty box contains no points
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
     const Dataset<D>& data = *data_;
     this->stats_.partitions_visited += 1;
     this->stats_.objects_tested += data.size();
+    MatchEmitter emit(count_only, &sink);
     for (ObjectId i = 0; i < data.size(); ++i) {
-      if (data[i].Intersects(q)) result->push_back(i);
+      if (MatchesPredicate(data[i], q, predicate)) emit.Add(i);
     }
+    emit.Flush();
+  }
+
+  /// The kNN oracle: one exhaustive pass offering every object's MBB
+  /// distance to a bounded best-k heap.
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    const Dataset<D>& data = *data_;
+    this->stats_.partitions_visited += 1;
+    this->stats_.objects_tested += data.size();
+    TopKSink topk(k);
+    for (ObjectId i = 0; i < data.size(); ++i) {
+      topk.Offer(i, data[i].MinDistSquaredTo(pt));
+    }
+    DrainTopK(&topk, &sink);
   }
 
  private:

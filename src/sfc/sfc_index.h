@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string_view>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 #include "sfc/zentry.h"
@@ -55,8 +57,10 @@ class SfcIndex final : public SpatialIndex<D> {
     entries_.clear();
     entries_.reserve(data.size());
     half_extent_ = Point<D>{};
+    data_bounds_ = Box<D>::Empty();
     for (ObjectId i = 0; i < data.size(); ++i) {
       entries_.push_back(ZEntry{grid_.CodeOf(data[i].Center()), i});
+      data_bounds_.ExpandToInclude(data[i]);
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], data[i].Extent(d) / 2);
       }
@@ -66,11 +70,15 @@ class SfcIndex final : public SpatialIndex<D> {
     built_ = true;
   }
 
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // an empty box contains no points
+  const std::vector<ZEntry>& entries() const { return entries_; }
+
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
     if (!built_) Build();
     // Centre-based assignment: extend by half the max extent per dimension
-    // so every intersecting object's centre cell is covered.
+    // so every intersecting object's centre cell is covered (containment
+    // predicates imply intersection, so the candidate set stays valid).
     Box<D> extended = q;
     for (int d = 0; d < D; ++d) {
       extended.lo[d] -= half_extent_[d];
@@ -78,25 +86,40 @@ class SfcIndex final : public SpatialIndex<D> {
     }
     typename zorder::ZGrid<D>::Cells lo, hi;
     grid_.CellRect(extended, &lo, &hi);
+    MatchEmitter emit(count_only, &sink);
+    const BoxExec ctx{&q, predicate, &emit};
     if (params_.strategy == SfcQueryStrategy::kDecompose) {
-      QueryDecompose(q, lo, hi, result);
+      QueryDecompose(ctx, lo, hi);
     } else {
-      QueryBigMinScan(q, lo, hi, result);
+      QueryBigMinScan(ctx, lo, hi);
     }
+    emit.Flush();
   }
 
-  const std::vector<ZEntry>& entries() const { return entries_; }
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    if (!built_) Build();
+    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+  }
 
  private:
   using Cells = typename zorder::ZGrid<D>::Cells;
 
-  void Scan(const Box<D>& q, std::size_t begin, std::size_t end,
-            std::vector<ObjectId>* result) {
+  /// One box-driven execution, threaded through the interval walks.
+  struct BoxExec {
+    const Box<D>* q;
+    RangePredicate predicate;
+    MatchEmitter* emit;
+  };
+
+  void Scan(const BoxExec& ctx, std::size_t begin, std::size_t end) {
     const Dataset<D>& data = *data_;
+    this->stats_.objects_tested += end - begin;
     for (std::size_t k = begin; k < end; ++k) {
-      ++this->stats_.objects_tested;
       const ObjectId id = entries_[k].id;
-      if (data[id].Intersects(q)) result->push_back(id);
+      if (MatchesPredicate(data[id], *ctx.q, ctx.predicate)) {
+        ctx.emit->Add(id);
+      }
     }
   }
 
@@ -109,8 +132,7 @@ class SfcIndex final : public SpatialIndex<D> {
         entries_.begin());
   }
 
-  void QueryDecompose(const Box<D>& q, const Cells& lo, const Cells& hi,
-                      std::vector<ObjectId>* result) {
+  void QueryDecompose(const BoxExec& ctx, const Cells& lo, const Cells& hi) {
     intervals_.clear();
     zorder::ZRangeDecomposer<D>::Decompose(lo, hi, params_.max_intervals,
                                            &intervals_);
@@ -122,12 +144,11 @@ class SfcIndex final : public SpatialIndex<D> {
       if (iv.hi != std::numeric_limits<zorder::ZCode>::max()) {
         end = LowerBound(iv.hi + 1);
       }
-      Scan(q, begin, end, result);
+      Scan(ctx, begin, end);
     }
   }
 
-  void QueryBigMinScan(const Box<D>& q, const Cells& lo, const Cells& hi,
-                       std::vector<ObjectId>* result) {
+  void QueryBigMinScan(const BoxExec& ctx, const Cells& lo, const Cells& hi) {
     const Dataset<D>& data = *data_;
     const zorder::ZCode zmin = zorder::ZTraits<D>::Encode(lo);
     const zorder::ZCode zmax = zorder::ZTraits<D>::Encode(hi);
@@ -145,7 +166,9 @@ class SfcIndex final : public SpatialIndex<D> {
       if (in_rect) {
         ++this->stats_.objects_tested;
         const ObjectId id = entries_[pos].id;
-        if (data[id].Intersects(q)) result->push_back(id);
+        if (MatchesPredicate(data[id], *ctx.q, ctx.predicate)) {
+          ctx.emit->Add(id);
+        }
         ++pos;
         continue;
       }
@@ -164,6 +187,8 @@ class SfcIndex final : public SpatialIndex<D> {
   bool built_ = false;
   std::vector<ZEntry> entries_;
   Point<D> half_extent_{};
+  /// MBB of the dataset — the expanding-ring kNN termination bound.
+  Box<D> data_bounds_;
   std::vector<zorder::ZInterval> intervals_;  // reused across queries
 };
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <string_view>
@@ -11,6 +12,7 @@
 
 #include "common/crack_array.h"
 #include "common/dataset.h"
+#include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
 #include "sfc/zentry.h"
@@ -47,11 +49,13 @@ class SfcrackerIndex final : public SpatialIndex<D> {
 
   std::string_view name() const override { return "SFCracker"; }
 
-  /// Incremental index: `Build()` is a no-op; all work happens in `Query`.
+  /// Incremental index: `Build()` is a no-op; all work happens inside query
+  /// execution.
   void Build() override {}
 
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) override {
-    if (q.IsEmpty()) return;  // inverted bounds would Z-decompose garbage
+ protected:
+  void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
+                  Sink& sink) override {
     if (!initialized_) Initialize();
     const Dataset<D>& data = *data_;
 
@@ -67,6 +71,7 @@ class SfcrackerIndex final : public SpatialIndex<D> {
                                            &intervals_);
     this->stats_.intervals += intervals_.size();
 
+    MatchEmitter emit(count_only, &sink);
     for (const zorder::ZInterval& iv : intervals_) {
       ++this->stats_.partitions_visited;
       const std::size_t begin = CrackAt(iv.lo);
@@ -77,10 +82,22 @@ class SfcrackerIndex final : public SpatialIndex<D> {
       this->stats_.objects_tested += end - begin;
       for (std::size_t k = begin; k < end; ++k) {
         const ObjectId id = ids_[k];
-        if (data[id].Intersects(q)) result->push_back(id);
+        if (MatchesPredicate(data[id], q, predicate)) emit.Add(id);
       }
     }
+    emit.Flush();
   }
+
+  /// Expanding-ring kNN over the cracker's own range machinery — each probe
+  /// decomposes and cracks, so kNN workloads refine the code array exactly
+  /// like range workloads do.
+  void ExecuteKNearest(const Point<D>& pt, std::size_t k,
+                       Sink& sink) override {
+    if (!initialized_) Initialize();
+    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+  }
+
+ public:
 
   /// Number of crack boundaries learned so far (for tests/analysis).
   std::size_t num_boundaries() const { return boundaries_.size(); }
@@ -110,9 +127,11 @@ class SfcrackerIndex final : public SpatialIndex<D> {
     codes_.resize(data.size());
     ids_.resize(data.size());
     half_extent_ = Point<D>{};
+    data_bounds_ = Box<D>::Empty();
     for (ObjectId i = 0; i < data.size(); ++i) {
       codes_[i] = grid_.CodeOf(data[i].Center());
       ids_[i] = i;
+      data_bounds_.ExpandToInclude(data[i]);
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], data[i].Extent(d) / 2);
       }
@@ -155,6 +174,8 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   std::vector<zorder::ZCode> codes_;
   std::vector<ObjectId> ids_;
   Point<D> half_extent_{};
+  /// MBB of the dataset — the expanding-ring kNN termination bound.
+  Box<D> data_bounds_;
   /// Cracker index: boundary value -> array position (AVL tree in [18]).
   std::map<zorder::ZCode, std::size_t> boundaries_;
   std::vector<zorder::ZInterval> intervals_;

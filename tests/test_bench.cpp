@@ -5,16 +5,20 @@
 #include <cctype>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "bench/bench.h"
 #include "bench/json.h"
+#include "bench/workload.h"
 #include "tests/test_util.h"
 
 namespace {
 
 using quasii::bench::BenchConfig;
 using quasii::bench::JsonWriter;
+using quasii::bench::ParseWorkloadMix;
 using quasii::bench::RunBenchmark;
+using quasii::bench::WorkloadMix;
 
 /// Minimal recursive-descent JSON syntax checker (objects, arrays, strings,
 /// numbers, literals). Returns true iff `s` is one valid JSON value.
@@ -155,6 +159,12 @@ void TestReportIsValidJson() {
   CHECK(report.find("\"Scan\"") != std::string::npos);
   CHECK_EQ(CountOccurrences(report, "\"latencies_ms\":"), 7u);
   CHECK_EQ(CountOccurrences(report, "\"cumulative_stats\":"), 7u);
+  // The per-type breakdown: one object per index, all four type sections.
+  CHECK_EQ(CountOccurrences(report, "\"per_type\":"), 7u);
+  CHECK_EQ(CountOccurrences(report, "\"range\":"), 7u + 1u);  // + config mix
+  CHECK_EQ(CountOccurrences(report, "\"point\":"), 7u + 1u);
+  CHECK_EQ(CountOccurrences(report, "\"count\":"), 7u + 1u);
+  CHECK_EQ(CountOccurrences(report, "\"knn\":"), 7u + 1u);
 }
 
 void TestIndexFilterAndWorkloads() {
@@ -174,15 +184,10 @@ void TestIndexFilterAndWorkloads() {
   CHECK(report.find("\"queries\":13") != std::string::npos);
 }
 
-/// Every roster index sees the same queries, so result_objects must agree —
-/// the bench-level restatement of the equivalence suite.
-void TestRosterResultCountsAgree() {
-  BenchConfig config;
-  config.n = 4000;
-  config.queries = 30;
-  const std::string report = RunBenchmark(config);
-  CHECK(JsonValidator(report).Valid());
-  std::string first;
+/// All `result_objects` values of a report, in emission order: per index
+/// one total followed by the four per-type sections' values.
+std::vector<std::string> ExtractResultObjects(const std::string& report) {
+  std::vector<std::string> values;
   std::size_t pos = 0;
   while ((pos = report.find("\"result_objects\":", pos)) !=
          std::string::npos) {
@@ -192,15 +197,94 @@ void TestRosterResultCountsAgree() {
            std::isdigit(static_cast<unsigned char>(report[end]))) {
       ++end;
     }
-    const std::string count = report.substr(pos, end - pos);
-    if (first.empty()) {
-      first = count;
-    } else {
-      CHECK_EQ(count, first);
-    }
+    values.push_back(report.substr(pos, end - pos));
     pos = end;
   }
-  CHECK(!first.empty());
+  return values;
+}
+
+/// Every roster index sees the same queries, so its result counts — the
+/// total and every per-type section — must agree with every other index's:
+/// the bench-level restatement of the equivalence suite.
+void CheckResultCountsAgree(const std::string& report, std::size_t indexes) {
+  const std::vector<std::string> values = ExtractResultObjects(report);
+  // Per index: one total + one value per type section.
+  const std::size_t per_index = 1 + quasii::bench::kNumQueryTypes;
+  CHECK_EQ(values.size(), indexes * per_index);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    CHECK_EQ(values[i], values[i % per_index]);
+  }
+}
+
+void TestRosterResultCountsAgree() {
+  BenchConfig config;
+  config.n = 4000;
+  config.queries = 30;
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  CheckResultCountsAgree(report, 7);
+}
+
+/// A mixed workload routes every query type through the typed engine; the
+/// report must stay valid JSON, cover all four types, and agree across the
+/// roster per type.
+void TestMixedWorkloadReport() {
+  BenchConfig config;
+  config.n = 3000;
+  config.queries = 40;
+  config.mix = quasii::bench::DefaultMixedWorkloadMix();
+  config.knn_k = 5;
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  CheckResultCountsAgree(report, 7);
+  // The mix is recorded in the config block, and at this size the
+  // deterministic interleave exercises every type (non-zero query counts
+  // would all be "\"queries\":0" otherwise).
+  CHECK(report.find("\"mix\":{\"range\":0.7") != std::string::npos);
+  CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 0u);
+}
+
+void TestParseWorkloadMix() {
+  WorkloadMix mix;
+  CHECK(ParseWorkloadMix("range:0.7,point:0.2,count:0.05,knn:0.05", &mix));
+  CHECK_EQ(mix.range, 0.7);
+  CHECK_EQ(mix.point, 0.2);
+  CHECK_EQ(mix.count, 0.05);
+  CHECK_EQ(mix.knn, 0.05);
+  CHECK(!mix.IsPureRange());
+
+  CHECK(ParseWorkloadMix("point:1", &mix));
+  CHECK_EQ(mix.range, 0.0);
+  CHECK_EQ(mix.point, 1.0);
+
+  // Unknown types, malformed pairs, non-numeric or trailing-garbage
+  // weights, and all-zero mixes are rejected (and must not clobber the
+  // previous value) — a typo must never silently become weight 0.
+  CHECK(!ParseWorkloadMix("warp:0.5", &mix));
+  CHECK(!ParseWorkloadMix("range", &mix));
+  CHECK(!ParseWorkloadMix("range:0,point:0", &mix));
+  CHECK(!ParseWorkloadMix("range:0.7,point:o.2", &mix));
+  CHECK(!ParseWorkloadMix("range:", &mix));
+  CHECK(!ParseWorkloadMix("range:0.5x", &mix));
+  CHECK(!ParseWorkloadMix("range:-0.5", &mix));
+  CHECK(!ParseWorkloadMix("range:nan", &mix));
+  CHECK(!ParseWorkloadMix("", &mix));
+  CHECK_EQ(mix.point, 1.0);
+
+  // A type with weight 0 must never be emitted, even at the roulette
+  // wheel's floating-point drift fallback.
+  quasii::bench::WorkloadSpec spec;
+  CHECK(ParseWorkloadMix("range:0.1,point:0.1,count:0.1", &spec.mix));
+  std::vector<quasii::Box3> boxes(500);
+  for (auto& b : boxes) {
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = 0;
+      b.hi[d] = 1;
+    }
+  }
+  for (const auto& q : quasii::bench::MakeTypedWorkload<3>(boxes, spec)) {
+    CHECK(q.type != quasii::QueryType::kKNearest);
+  }
 }
 
 /// `MakeBenchInputs` must never pad the workload with default-constructed
@@ -229,6 +313,8 @@ int main() {
   RUN_TEST(TestReportIsValidJson);
   RUN_TEST(TestIndexFilterAndWorkloads);
   RUN_TEST(TestRosterResultCountsAgree);
+  RUN_TEST(TestMixedWorkloadReport);
+  RUN_TEST(TestParseWorkloadMix);
   RUN_TEST(TestBenchInputsEmitNoEmptyQueries);
   return 0;
 }

@@ -3,6 +3,7 @@
 // the Scan baseline's result set.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -197,6 +198,49 @@ void TestDegenerateDatasets() {
   CheckAllAgainstScan<3>(dup, universe, queries, "duplicates");
 }
 
+/// Zero-extent queries (`lo == hi` in some or all dimensions) are valid
+/// closed boxes — point, line, and plane probes — and must never be
+/// swallowed by the `IsEmpty()` guards (`box.h` documents the semantics:
+/// only `lo > hi` is empty). Roster-wide equivalence against Scan, with
+/// probes at object centres so non-empty results prove nothing was dropped.
+void TestZeroExtentQueriesAcrossRoster() {
+  quasii::datagen::UniformDatasetParams p;
+  p.count = 12000;
+  const Dataset3 data = quasii::datagen::MakeUniformDataset(p);
+  const Box3 universe = quasii::datagen::UniformUniverse(p);
+
+  Rng rng(71);
+  std::vector<Box3> queries;
+  for (int i = 0; i < 40; ++i) {
+    // Centre of a random object: guaranteed at least one hit.
+    const auto centre =
+        data[static_cast<std::size_t>(rng.UniformInt(
+                 0, static_cast<std::int64_t>(data.size()) - 1))]
+            .Center();
+    queries.push_back(Box3(centre, centre));  // fully zero-extent (point)
+    Box3 plane(centre, centre);               // zero-extent in dim 0 only
+    plane.lo[1] = universe.lo[1];
+    plane.hi[1] = universe.hi[1];
+    plane.lo[2] = universe.lo[2];
+    plane.hi[2] = universe.hi[2];
+    queries.push_back(plane);
+  }
+  for (const Box3& q : queries) CHECK(!q.IsEmpty());
+
+  // Every zero-extent probe at an object centre must find that object.
+  ScanIndex<3> scan(data);
+  std::uint64_t total = 0;
+  for (const Box3& q : queries) {
+    std::vector<ObjectId> got;
+    scan.Query(q, &got);
+    CHECK_GT(got.size(), 0u);
+    total += got.size();
+  }
+  CHECK_GT(total, 0u);
+
+  CheckAllAgainstScan<3>(data, universe, queries, "zero-extent");
+}
+
 void TestInvertedQueryReturnsNothingEverywhere() {
   // An inverted (empty) query box must return nothing from any index and,
   // crucially, must not corrupt the incremental indexes' internal order:
@@ -252,6 +296,7 @@ int main() {
   RUN_TEST(TestNeuroDatasetEquivalence);
   RUN_TEST(TestRandomBoxes2dEquivalence);
   RUN_TEST(TestDegenerateDatasets);
+  RUN_TEST(TestZeroExtentQueriesAcrossRoster);
   RUN_TEST(TestInvertedQueryReturnsNothingEverywhere);
   return 0;
 }

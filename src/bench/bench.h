@@ -65,9 +65,10 @@ inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeIndexRoster(
   return roster;
 }
 
-/// Per-query-type aggregate of a run: how many queries of the type ran,
-/// their wall clock, their result cardinality, and the work counters they
-/// were responsible for (stats deltas, so the per-type counters sum to the
+/// Per-op-type aggregate of a run: how many operations of the type ran,
+/// their wall clock, their result cardinality (query results; for mutations
+/// the number of *accepted* operations), and the work counters they were
+/// responsible for (stats deltas, so the per-type counters sum to the
 /// cumulative ones).
 struct TypeBreakdown {
   std::uint64_t queries = 0;
@@ -76,8 +77,8 @@ struct TypeBreakdown {
   QueryStats stats;
 };
 
-/// Per-index measurement: build time, per-query latencies, cumulative stats,
-/// and the per-type breakdown.
+/// Per-index measurement: build time, per-op latencies, cumulative stats,
+/// and the per-op-type breakdown (the four query types plus insert/erase).
 struct IndexRun {
   std::string name;
   double build_ms = 0;
@@ -85,7 +86,7 @@ struct IndexRun {
   std::vector<double> latencies_ms;
   std::uint64_t result_objects = 0;
   QueryStats cumulative;
-  std::array<TypeBreakdown, kNumQueryTypes> per_type;
+  std::array<TypeBreakdown, kNumOpTypes> per_type;
 };
 
 inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
@@ -125,15 +126,18 @@ inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
   }
 }
 
-/// The typed workload of a config: the box footprints typed per the mix,
-/// interleaved deterministically from the config seed.
-inline std::vector<Query3> MakeBenchWorkload(const BenchConfig& config,
-                                             const std::vector<Box3>& boxes) {
+/// The operation stream of a config: the box footprints typed per the mix
+/// (queries plus insert/erase mutations), interleaved deterministically
+/// from the config seed. `initial_n` is the dataset size the indexes were
+/// loaded with (fresh insert ids start there).
+inline std::vector<Op3> MakeBenchOps(const BenchConfig& config,
+                                     const std::vector<Box3>& boxes,
+                                     std::size_t initial_n) {
   WorkloadSpec spec;
   spec.mix = config.mix;
   spec.knn_k = config.knn_k;
   spec.seed = config.seed + 2;
-  return MakeTypedWorkload<3>(boxes, spec);
+  return MakeOpWorkload<3>(boxes, spec, initial_n);
 }
 
 /// Reusable sinks of a measurement loop, pre-sized so reallocation never
@@ -156,7 +160,7 @@ struct TimedExec {
 /// primitive both the bench driver and the microbench loop share.
 inline TimedExec RunTimedQuery(
     SpatialIndex<3>* index, const Query3& q, RunSinks* sinks,
-    std::array<TypeBreakdown, kNumQueryTypes>* per_type) {
+    std::array<TypeBreakdown, kNumOpTypes>* per_type) {
   const QueryStats before = index->stats();
   TimedExec exec;
   if (q.type == QueryType::kCount) {
@@ -181,8 +185,34 @@ inline TimedExec RunTimedQuery(
   return exec;
 }
 
-inline IndexRun RunIndex(SpatialIndex<3>* index,
-                         const std::vector<Query3>& queries) {
+/// Executes one operation — query or mutation — timing it into its
+/// per-op-type section. For mutations `results` is 1 when the operation was
+/// accepted (the store semantics are index-independent, so acceptance
+/// patterns must agree across the roster like query results do).
+inline TimedExec RunTimedOp(SpatialIndex<3>* index, const Op3& op,
+                            RunSinks* sinks,
+                            std::array<TypeBreakdown, kNumOpTypes>* per_type) {
+  if (op.kind == OpKind::kQuery) {
+    return RunTimedQuery(index, op.query, sinks, per_type);
+  }
+  const QueryStats before = index->stats();
+  TimedExec exec;
+  Timer t;
+  const bool accepted = op.kind == OpKind::kInsert
+                            ? index->Insert(op.id, op.box)
+                            : index->Erase(op.id);
+  exec.ms = t.Millis();
+  exec.results = accepted ? 1 : 0;
+  TypeBreakdown& agg =
+      (*per_type)[static_cast<std::size_t>(OpTypeIndexOf(op))];
+  ++agg.queries;
+  agg.total_ms += exec.ms;
+  agg.result_objects += exec.results;
+  agg.stats += index->stats() - before;
+  return exec;
+}
+
+inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
   IndexRun run;
   run.name = std::string(index->name());
   Timer build_timer;
@@ -190,10 +220,10 @@ inline IndexRun RunIndex(SpatialIndex<3>* index,
   run.build_ms = build_timer.Millis();
   index->ResetStats();
 
-  run.latencies_ms.reserve(queries.size());
+  run.latencies_ms.reserve(ops.size());
   RunSinks sinks;
-  for (const Query3& q : queries) {
-    const TimedExec exec = RunTimedQuery(index, q, &sinks, &run.per_type);
+  for (const Op3& op : ops) {
+    const TimedExec exec = RunTimedOp(index, op, &sinks, &run.per_type);
     run.latencies_ms.push_back(exec.ms);
     run.total_query_ms += exec.ms;
     run.result_objects += exec.results;
@@ -213,13 +243,13 @@ inline void WriteStats(JsonWriter* w, const QueryStats& s) {
   w->EndObject();
 }
 
-/// Emits the `per_type` object: one section per engine query type, always
-/// all four (zeroed sections make schema consumers simpler than absent
-/// ones).
+/// Emits the `per_type` object: one section per operation type, always all
+/// six — range/point/count/knn/insert/erase (zeroed sections make schema
+/// consumers simpler than absent ones).
 inline void WriteTypeBreakdown(
-    JsonWriter* w, const std::array<TypeBreakdown, kNumQueryTypes>& per_type) {
+    JsonWriter* w, const std::array<TypeBreakdown, kNumOpTypes>& per_type) {
   w->BeginObject();
-  for (int t = 0; t < kNumQueryTypes; ++t) {
+  for (int t = 0; t < kNumOpTypes; ++t) {
     const TypeBreakdown& agg = per_type[static_cast<std::size_t>(t)];
     w->Key(QueryTypeName(t)).BeginObject();
     w->Key("queries").Uint(agg.queries);
@@ -240,6 +270,8 @@ inline void WriteMix(JsonWriter* w, const WorkloadMix& mix) {
   w->Key("point").Double(mix.point);
   w->Key("count").Double(mix.count);
   w->Key("knn").Double(mix.knn);
+  w->Key("insert").Double(mix.insert);
+  w->Key("erase").Double(mix.erase);
   w->EndObject();
 }
 
@@ -250,15 +282,16 @@ inline std::string RunBenchmark(const BenchConfig& config) {
   Box3 universe;
   std::vector<Box3> boxes;
   MakeBenchInputs(config, &data, &universe, &boxes);
-  const std::vector<Query3> queries = MakeBenchWorkload(config, boxes);
+  const std::vector<Op3> ops = MakeBenchOps(config, boxes, data.size());
 
   JsonWriter w;
   w.BeginObject();
+  w.Key("schema").String("quasii-bench-v3");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);
   w.Key("n").Uint(data.size());
-  w.Key("queries").Uint(queries.size());
+  w.Key("queries").Uint(ops.size());
   w.Key("selectivity").Double(config.selectivity);
   w.Key("seed").Uint(config.seed);
   w.Key("mix");
@@ -274,7 +307,7 @@ inline std::string RunBenchmark(const BenchConfig& config) {
                   std::string(index->name())) == config.indexes.end()) {
       continue;
     }
-    const IndexRun run = RunIndex(index.get(), queries);
+    const IndexRun run = RunIndex(index.get(), ops);
     w.BeginObject();
     w.Key("index").String(run.name);
     w.Key("build_ms").Double(run.build_ms);

@@ -31,10 +31,14 @@ void PrintUsage() {
                "                    [--n=COUNT] [--queries=COUNT]\n"
                "                    [--selectivity=FRACTION] [--seed=SEED]\n"
                "                    [--indexes=NAME,NAME,...] [--out=PATH]\n"
-               "                    [--mix=range:W,point:W,count:W,knn:W]\n"
+               "                    [--mix=range:W,point:W,count:W,knn:W,\n"
+               "                           insert:W,erase:W]\n"
                "                    [--knn-k=K]\n"
                "--mix types the workload (weights are ratios; default pure\n"
-               "range); point/kNN queries probe the footprint box centres.\n");
+               "range); point/kNN queries probe the footprint box centres.\n"
+               "insert/erase weights turn it into a read/write stream:\n"
+               "inserts add fresh objects derived from the footprint boxes,\n"
+               "erases remove uniform victims from the live id pool.\n");
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -65,7 +69,8 @@ bool ParseArg(const std::string& arg, BenchConfig* config,
     if (value != "uniform" && value != "clustered") return false;
     config->workload = value;
   } else if (key == "n") {
-    config->n = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    config->n =
+        static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
   } else if (key == "queries") {
     config->queries = std::atoi(value.c_str());
   } else if (key == "selectivity") {

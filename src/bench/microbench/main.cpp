@@ -26,12 +26,15 @@ void PrintUsage() {
                "                         [--queries=COUNT] [--seed=SEED]\n"
                "                         [--workloads=WORKLOAD,...]\n"
                "                         [--out=PATH]\n"
-               "workloads: uniform, clustered, mixed\n"
-               "defaults: n = 2^17..2^20, 1000 queries, the uniform and\n"
-               "          clustered workloads, report written to\n"
-               "          BENCH_quasii.json. The mixed workload (70%% range,\n"
-               "          20%% point, 5%% count, 5%% kNN) probes convergence\n"
-               "          under heterogeneous query types.\n");
+               "workloads: uniform, clustered, mixed, readwrite\n"
+               "defaults: n = 2^17..2^20, 1000 operations, the uniform,\n"
+               "          clustered, and readwrite workloads, report written\n"
+               "          to BENCH_quasii.json. The mixed workload (70%%\n"
+               "          range, 20%% point, 5%% count, 5%% kNN) probes\n"
+               "          convergence under heterogeneous query types; the\n"
+               "          readwrite workload (55/15/5/5 queries + 15%%\n"
+               "          insert, 5%% erase) probes incremental maintenance\n"
+               "          under a shifting population.\n");
 }
 
 bool ParseArg(const std::string& arg, MicrobenchOptions* options,
@@ -56,7 +59,10 @@ bool ParseArg(const std::string& arg, MicrobenchOptions* options,
       const std::size_t end = comma == std::string::npos ? value.size() : comma;
       if (end > start) {
         const std::string w = value.substr(start, end - start);
-        if (w != "uniform" && w != "clustered" && w != "mixed") return false;
+        if (w != "uniform" && w != "clustered" && w != "mixed" &&
+            w != "readwrite") {
+          return false;
+        }
         options->workloads.push_back(w);
       }
       start = end + 1;

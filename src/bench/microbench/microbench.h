@@ -29,25 +29,41 @@ namespace quasii::bench {
 /// convergence curve, cumulative crack/move counters, and total query time.
 /// The "mixed" workload (70% range / 20% point / 5% count / 5% kNN through
 /// the typed engine) measures whether QUASII's convergence survives
-/// heterogeneous workloads — the paper's §7 open question.
+/// heterogeneous workloads — the paper's §7 open question — and the
+/// "readwrite" workload interleaves inserts and erases with the queries
+/// (55/15/5/5/15/5), measuring incremental maintenance under a shifting
+/// population. Schema v3 adds the insert/erase per-op-type sections and a
+/// `post_workload` verification block (every range query of the stream
+/// re-run after the mutations, with an order-sensitive checksum that must
+/// agree across the roster).
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
   int queries = 1000;
   std::uint64_t seed = 1;
-  /// Subset of {"uniform", "clustered", "mixed"}; uniform + clustered when
-  /// empty (the committed-baseline matrix).
+  /// Subset of {"uniform", "clustered", "mixed", "readwrite"}; uniform +
+  /// clustered + readwrite when empty (the committed-baseline matrix).
   std::vector<std::string> workloads;
 };
 
 /// One point of an index's convergence curve, sampled at geometrically
-/// spaced query counts (1, 2, 4, ..., total) so early refinement and steady
-/// state are both visible at a glance.
+/// spaced operation counts (1, 2, 4, ..., total) so early refinement and
+/// steady state are both visible at a glance.
 struct ConvergencePoint {
-  int query = 0;  // 1-based index of the query just executed
+  int query = 0;  // 1-based index of the operation just executed
   double cumulative_ms = 0;
   std::uint64_t cumulative_cracks = 0;
   std::uint64_t cumulative_objects_moved = 0;
+};
+
+/// Post-workload verification: every range query of the stream re-run once
+/// the mutations have landed. `checksum` folds each query's sorted result
+/// ids through FNV-1a in stream order, so any per-query divergence across
+/// the roster changes it.
+struct PostWorkload {
+  std::uint64_t queries = 0;
+  std::uint64_t result_objects = 0;
+  std::uint64_t checksum = 0;
 };
 
 /// Per-index microbench measurement (a superset of `IndexRun`'s fields,
@@ -61,8 +77,9 @@ struct MicroRun {
   double steady_tail_mean_ms = 0;
   std::uint64_t result_objects = 0;
   QueryStats cumulative;
-  std::array<TypeBreakdown, kNumQueryTypes> per_type;
+  std::array<TypeBreakdown, kNumOpTypes> per_type;
   std::vector<ConvergencePoint> convergence;
+  PostWorkload post_workload;
 };
 
 /// The microbench roster: the §6.3 incremental-index comparison plus the
@@ -76,8 +93,7 @@ inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeMicrobenchRoster(
   return roster;
 }
 
-inline MicroRun RunMicro(SpatialIndex<3>* index,
-                         const std::vector<Query3>& queries) {
+inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
   MicroRun run;
   run.name = std::string(index->name());
   Timer build_timer;
@@ -87,14 +103,19 @@ inline MicroRun RunMicro(SpatialIndex<3>* index,
 
   RunSinks sinks;
   int next_sample = 1;
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const TimedExec exec =
-        RunTimedQuery(index, queries[i], &sinks, &run.per_type);
+  bool first_query_recorded = false;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TimedExec exec = RunTimedOp(index, ops[i], &sinks, &run.per_type);
     run.total_query_ms += exec.ms;
     run.result_objects += exec.results;
-    if (i == 0) run.first_query_ms = exec.ms;
+    // The first *query* (mutations before it are cheap appends and don't
+    // initialize an incremental index) — the §6.2 index-building cost.
+    if (!first_query_recorded && ops[i].kind == OpKind::kQuery) {
+      run.first_query_ms = exec.ms;
+      first_query_recorded = true;
+    }
     const int done = static_cast<int>(i) + 1;
-    if (done == next_sample || i + 1 == queries.size()) {
+    if (done == next_sample || i + 1 == ops.size()) {
       ConvergencePoint p;
       p.query = done;
       p.cumulative_ms = run.total_query_ms;
@@ -106,17 +127,45 @@ inline MicroRun RunMicro(SpatialIndex<3>* index,
   }
 
   run.cumulative = index->stats();
-  // Converged per-query cost: repeat the last 10% of the workload once more.
-  // Those regions are fully refined now, so this measures steady state
-  // without polluting the totals recorded above (the per-type counters do
-  // absorb the re-run's stats deltas into a scratch copy, not the report).
-  const std::size_t tail = std::max<std::size_t>(1, queries.size() / 10);
-  std::array<TypeBreakdown, kNumQueryTypes> scratch{};
+  // Converged per-query cost: repeat the queries of the last 10% of the
+  // stream once more. Those regions are fully refined now, so this measures
+  // steady state without polluting the totals recorded above (the per-type
+  // counters do absorb the re-run's stats deltas into a scratch copy, not
+  // the report). Mutations are skipped: replaying an insert/erase would be
+  // rejected by the store, and the tail is about query cost.
+  const std::size_t tail = std::max<std::size_t>(1, ops.size() / 10);
+  std::array<TypeBreakdown, kNumOpTypes> scratch{};
   double tail_ms = 0;
-  for (std::size_t i = queries.size() - tail; i < queries.size(); ++i) {
-    tail_ms += RunTimedQuery(index, queries[i], &sinks, &scratch).ms;
+  std::size_t tail_queries = 0;
+  for (std::size_t i = ops.size() - tail; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kQuery) continue;
+    tail_ms += RunTimedOp(index, ops[i], &sinks, &scratch).ms;
+    ++tail_queries;
   }
-  run.steady_tail_mean_ms = tail_ms / static_cast<double>(tail);
+  run.steady_tail_mean_ms =
+      tail_queries > 0 ? tail_ms / static_cast<double>(tail_queries) : 0;
+
+  // Post-workload verification pass: the final state answers every range
+  // query of the stream; its checksum must agree across the roster.
+  std::vector<ObjectId> ids;
+  VectorSink id_sink(&ids);
+  std::uint64_t checksum = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto fnv = [&checksum](std::uint64_t v) {
+    checksum = (checksum ^ v) * 1099511628211ull;
+  };
+  for (const Op3& op : ops) {
+    if (op.kind != OpKind::kQuery || op.query.type != QueryType::kRange) {
+      continue;
+    }
+    ids.clear();
+    index->Execute(op.query, id_sink);
+    std::sort(ids.begin(), ids.end());
+    fnv(ids.size());
+    for (const ObjectId id : ids) fnv(id);
+    ++run.post_workload.queries;
+    run.post_workload.result_objects += ids.size();
+  }
+  run.post_workload.checksum = checksum;
   return run;
 }
 
@@ -132,6 +181,11 @@ inline void WriteMicroRun(JsonWriter* w, const MicroRun& run) {
   WriteStats(w, run.cumulative);
   w->Key("per_type");
   WriteTypeBreakdown(w, run.per_type);
+  w->Key("post_workload").BeginObject();
+  w->Key("queries").Uint(run.post_workload.queries);
+  w->Key("result_objects").Uint(run.post_workload.result_objects);
+  w->Key("checksum").Uint(run.post_workload.checksum);
+  w->EndObject();
   w->Key("convergence").BeginArray();
   for (const ConvergencePoint& p : run.convergence) {
     w->BeginObject();
@@ -148,11 +202,11 @@ inline void WriteMicroRun(JsonWriter* w, const MicroRun& run) {
 /// Runs the full microbench matrix and returns the BENCH_quasii.json report.
 inline std::string RunMicrobench(const MicrobenchOptions& options) {
   std::vector<std::string> workloads = options.workloads;
-  if (workloads.empty()) workloads = {"uniform", "clustered"};
+  if (workloads.empty()) workloads = {"uniform", "clustered", "readwrite"};
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v2");
+  w.Key("schema").String("quasii-microbench-v3");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
@@ -165,10 +219,11 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
     for (int e = options.min_exp; e <= options.max_exp; ++e) {
       BenchConfig config;
       config.dataset = "uniform";
-      // The mixed workload reuses the uniform footprint generator; only the
-      // query *types* differ.
+      // The mixed and readwrite workloads reuse the uniform footprint
+      // generator; only the operation *types* differ.
       const bool mixed = workload == "mixed";
-      config.workload = mixed ? "uniform" : workload;
+      const bool readwrite = workload == "readwrite";
+      config.workload = mixed || readwrite ? "uniform" : workload;
       config.n = std::size_t{1} << e;
       config.queries = options.queries;
       // Paper selectivities: 0.1% for the uniform workload (§6.6), 10^-2 %
@@ -176,18 +231,19 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
       config.selectivity = config.workload == "clustered" ? 1e-4 : 1e-3;
       config.seed = options.seed;
       if (mixed) config.mix = DefaultMixedWorkloadMix();
+      if (readwrite) config.mix = DefaultReadWriteMix();
 
       Dataset3 data;
       Box3 universe;
       std::vector<Box3> boxes;
       MakeBenchInputs(config, &data, &universe, &boxes);
-      const std::vector<Query3> queries = MakeBenchWorkload(config, boxes);
+      const std::vector<Op3> ops = MakeBenchOps(config, boxes, data.size());
 
       w.BeginObject();
       w.Key("dataset").String(config.dataset);
       w.Key("workload").String(workload);
       w.Key("n").Uint(data.size());
-      w.Key("queries").Uint(queries.size());
+      w.Key("queries").Uint(ops.size());
       w.Key("selectivity").Double(config.selectivity);
       w.Key("seed").Uint(config.seed);
       w.Key("mix");
@@ -195,7 +251,7 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
       w.Key("results").BeginArray();
       auto roster = MakeMicrobenchRoster(data, universe);
       for (const auto& index : roster) {
-        const MicroRun run = RunMicro(index.get(), queries);
+        const MicroRun run = RunMicro(index.get(), ops);
         WriteMicroRun(&w, run);
       }
       w.EndArray();

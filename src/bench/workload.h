@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -14,27 +15,48 @@
 namespace quasii::bench {
 
 /// Per-type composition of a mixed workload: relative weights of the four
-/// engine query types (they need not sum to 1; only ratios matter). The
-/// default is the paper's pure-intersection workload, so existing configs
-/// keep their exact behaviour.
+/// engine query types plus the two mutation operations (they need not sum
+/// to 1; only ratios matter). The default is the paper's pure-intersection
+/// workload, so existing configs keep their exact behaviour.
 struct WorkloadMix {
   double range = 1.0;
   double point = 0.0;
   double count = 0.0;
   double knn = 0.0;
+  double insert = 0.0;
+  double erase = 0.0;
 
-  double Total() const { return range + point + count + knn; }
-  bool IsPureRange() const { return point == 0 && count == 0 && knn == 0; }
+  double Total() const {
+    return range + point + count + knn + insert + erase;
+  }
+  bool IsPureRange() const {
+    return point == 0 && count == 0 && knn == 0 && IsReadOnly();
+  }
+  bool IsReadOnly() const { return insert == 0 && erase == 0; }
 };
 
 /// The default heterogeneous mix of the mixed-workload experiments:
-/// 70% range / 20% point / 5% count / 5% kNN.
+/// 70% range / 20% point / 5% count / 5% kNN (read-only).
 inline WorkloadMix DefaultMixedWorkloadMix() {
   WorkloadMix mix;
   mix.range = 0.70;
   mix.point = 0.20;
   mix.count = 0.05;
   mix.knn = 0.05;
+  return mix;
+}
+
+/// The default read/write mix: the mixed workload's query spread with 20%
+/// of the stream replaced by mutations (3:1 insert-heavy, so the dataset
+/// grows under the index while it converges).
+inline WorkloadMix DefaultReadWriteMix() {
+  WorkloadMix mix;
+  mix.range = 0.55;
+  mix.point = 0.15;
+  mix.count = 0.05;
+  mix.knn = 0.05;
+  mix.insert = 0.15;
+  mix.erase = 0.05;
   return mix;
 }
 
@@ -49,13 +71,18 @@ struct WorkloadSpec {
   std::uint64_t seed = 5;
 };
 
-/// Stable indices/names of the per-type report sections.
+/// Stable indices/names of the per-op-type report sections. The first four
+/// are the engine query types; insert/erase are the mutation operations of
+/// read/write workloads.
 enum QueryTypeIndex {
   kTypeRange = 0,
   kTypePoint = 1,
   kTypeCount = 2,
   kTypeKnn = 3,
   kNumQueryTypes = 4,
+  kTypeInsert = 4,
+  kTypeErase = 5,
+  kNumOpTypes = 6,
 };
 
 inline const char* QueryTypeName(int type_index) {
@@ -68,6 +95,10 @@ inline const char* QueryTypeName(int type_index) {
       return "count";
     case kTypeKnn:
       return "knn";
+    case kTypeInsert:
+      return "insert";
+    case kTypeErase:
+      return "erase";
     default:
       return "?";
   }
@@ -88,20 +119,82 @@ int TypeIndexOf(const Query<D>& q) {
   return kTypeRange;
 }
 
-/// Types a box workload: each footprint box becomes one typed query, its
-/// type drawn from the mix — deterministic interleaving from the shared
-/// `Rng`, so a (boxes, spec) pair always produces the same typed sequence.
-/// Point and kNN queries probe the box centre, so every type exercises the
-/// same spatial region and per-type results stay comparable.
+/// One operation of a (possibly read/write) workload stream.
+enum class OpKind { kQuery, kInsert, kErase };
+
 template <int D>
-std::vector<Query<D>> MakeTypedWorkload(const std::vector<Box<D>>& boxes,
-                                        const WorkloadSpec& spec) {
+struct Op {
+  OpKind kind = OpKind::kQuery;
+  /// kQuery: the typed query.
+  Query<D> query;
+  /// kInsert / kErase: the target object id.
+  ObjectId id = 0;
+  /// kInsert: the new object's MBB.
+  Box<D> box;
+};
+
+using Op2 = Op<2>;
+using Op3 = Op<3>;
+
+template <int D>
+int OpTypeIndexOf(const Op<D>& op) {
+  switch (op.kind) {
+    case OpKind::kInsert:
+      return kTypeInsert;
+    case OpKind::kErase:
+      return kTypeErase;
+    case OpKind::kQuery:
+      break;
+  }
+  return TypeIndexOf(op.query);
+}
+
+/// A data-like object for an insert op, derived deterministically from the
+/// footprint box: a small box (a few percent of the footprint extent per
+/// dimension) around a uniform point inside it, so inserted objects land
+/// where the workload is looking.
+template <int D>
+Box<D> MakeInsertBox(const Box<D>& footprint, Rng* rng) {
+  Box<D> out;
+  for (int d = 0; d < D; ++d) {
+    const double lo = static_cast<double>(footprint.lo[d]);
+    const double hi = static_cast<double>(footprint.hi[d]);
+    const double centre = rng->Uniform(lo, hi > lo ? hi : lo + 1.0);
+    const double half = (hi - lo) * rng->Uniform(0.01, 0.1) / 2;
+    out.lo[d] = static_cast<Scalar>(centre - half);
+    out.hi[d] = static_cast<Scalar>(centre + half);
+  }
+  return out;
+}
+
+/// Types a box workload into an operation stream: each footprint box
+/// becomes one op, its type drawn from the mix — deterministic interleaving
+/// from the shared `Rng`, so a (boxes, spec, initial_n) triple always
+/// produces the same stream. Point and kNN queries probe the box centre, so
+/// every type exercises the same spatial region and per-type results stay
+/// comparable. Inserts allocate fresh ids starting at `initial_n` with an
+/// object derived from the footprint; erases pick a uniform victim from the
+/// currently live id pool (seeded with `0 .. initial_n-1`), so the stream
+/// is valid against any index loaded with the same initial dataset. A
+/// zero-weight type is never emitted; an erase drawn against an empty pool
+/// degrades to a range query.
+template <int D>
+std::vector<Op<D>> MakeOpWorkload(const std::vector<Box<D>>& boxes,
+                                  const WorkloadSpec& spec,
+                                  std::size_t initial_n) {
   Rng rng(spec.seed);
-  const double weights[kNumQueryTypes] = {spec.mix.range, spec.mix.point,
-                                          spec.mix.count, spec.mix.knn};
+  const double weights[kNumOpTypes] = {spec.mix.range,  spec.mix.point,
+                                       spec.mix.count,  spec.mix.knn,
+                                       spec.mix.insert, spec.mix.erase};
   const double total = spec.mix.Total();
-  std::vector<Query<D>> queries;
-  queries.reserve(boxes.size());
+  std::vector<ObjectId> pool;
+  ObjectId next_id = static_cast<ObjectId>(initial_n);
+  if (!spec.mix.IsReadOnly()) {
+    pool.resize(initial_n);
+    std::iota(pool.begin(), pool.end(), ObjectId{0});
+  }
+  std::vector<Op<D>> ops;
+  ops.reserve(boxes.size());
   for (const Box<D>& b : boxes) {
     // Roulette-wheel draw over the positive weights. The fallback for
     // floating-point drift past the last cumulative threshold is the last
@@ -110,35 +203,72 @@ std::vector<Query<D>> MakeTypedWorkload(const std::vector<Box<D>>& boxes,
     if (total > 0) {
       double u = rng.Uniform(0.0, total);
       bool chosen = false;
-      for (int t = 0; t < kNumQueryTypes && !chosen; ++t) {
+      for (int t = 0; t < kNumOpTypes && !chosen; ++t) {
         if (weights[t] <= 0) continue;
         pick = t;
         chosen = u < weights[t];
         u -= weights[t];
       }
     }
+    Op<D> op;
     switch (pick) {
       case kTypePoint:
-        queries.push_back(PointQuery<D>(b.Center()));
+        op.query = PointQuery<D>(b.Center());
         break;
       case kTypeCount:
-        queries.push_back(CountQuery<D>(b));
+        op.query = CountQuery<D>(b);
         break;
       case kTypeKnn:
-        queries.push_back(KNearestQuery<D>(b.Center(), spec.knn_k));
+        op.query = KNearestQuery<D>(b.Center(), spec.knn_k);
+        break;
+      case kTypeInsert:
+        op.kind = OpKind::kInsert;
+        op.id = next_id++;
+        op.box = MakeInsertBox(b, &rng);
+        pool.push_back(op.id);
+        break;
+      case kTypeErase:
+        if (pool.empty()) {
+          op.query = RangeQuery<D>(b);
+          break;
+        }
+        op.kind = OpKind::kErase;
+        {
+          const std::size_t victim = static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(pool.size()) - 1));
+          op.id = pool[victim];
+          pool[victim] = pool.back();
+          pool.pop_back();
+        }
         break;
       default:
-        queries.push_back(RangeQuery<D>(b));
+        op.query = RangeQuery<D>(b);
         break;
     }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Read-only view of `MakeOpWorkload`: types a box workload into queries
+/// (the pre-mutation API, still the bulk of the test surface). The mix must
+/// be read-only.
+template <int D>
+std::vector<Query<D>> MakeTypedWorkload(const std::vector<Box<D>>& boxes,
+                                        const WorkloadSpec& spec) {
+  std::vector<Query<D>> queries;
+  queries.reserve(boxes.size());
+  for (const Op<D>& op : MakeOpWorkload(boxes, spec, /*initial_n=*/0)) {
+    if (op.kind == OpKind::kQuery) queries.push_back(op.query);
   }
   return queries;
 }
 
 /// Parses a `--mix` specification of the form
-/// `range:0.7,point:0.2,count:0.05,knn:0.05` (types may be omitted; their
-/// weight defaults to 0). Returns false on unknown type names, malformed
-/// pairs, or weights that are negative, non-numeric, or trailed by garbage.
+/// `range:0.6,point:0.2,count:0.05,knn:0.05,insert:0.07,erase:0.03` (types
+/// may be omitted; their weight defaults to 0). Returns false on unknown
+/// type names, malformed pairs, or weights that are negative, non-numeric,
+/// or trailed by garbage.
 inline bool ParseWorkloadMix(const std::string& s, WorkloadMix* mix) {
   WorkloadMix parsed;
   parsed.range = 0;
@@ -165,6 +295,10 @@ inline bool ParseWorkloadMix(const std::string& s, WorkloadMix* mix) {
       parsed.count = weight;
     } else if (name == "knn") {
       parsed.knn = weight;
+    } else if (name == "insert") {
+      parsed.insert = weight;
+    } else if (name == "erase") {
+      parsed.erase = weight;
     } else {
       return false;
     }

@@ -5,6 +5,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -91,9 +92,9 @@ std::size_t CrackPartition(const Key* keys, std::size_t begin, std::size_t end,
 
 /// Structure-of-arrays storage for an incrementally reorganized spatial
 /// collection: per-dimension centre-key columns (the crack keys), per-
-/// dimension MBB bound columns (`lo`/`hi`, the exact-filter data), and the
-/// id column, all permuted in lockstep; the boxes themselves stay in the
-/// caller's dataset and are only consulted through `box()` (cold paths).
+/// dimension MBB bound columns (`lo`/`hi`, the exact-filter data), the id
+/// column, and a liveness byte per row (erase tombstones), all permuted in
+/// lockstep.
 ///
 /// The layout serves the two hot loops of an incremental index:
 ///  - cracking comparators read a dense 4-byte key instead of loading a
@@ -103,32 +104,95 @@ std::size_t CrackPartition(const Key* keys, std::size_t begin, std::size_t end,
 ///    branchless, auto-vectorizable passes — `lo[d] <= q.hi[d] &&
 ///    hi[d] >= q.lo[d]` per dimension is exactly `Box::Intersects`, so
 ///    survivors are true results and no box is ever materialized.
+///
+/// Dynamic data rides on two mechanisms:
+///  - `Append` pushes new rows behind `pending_begin()`: the *pending tail*,
+///    an unsorted suffix the owning index drains into its structure at query
+///    time (QUASII promotes it to a root slice that subsequent queries crack
+///    lazily, exactly like initial data) and seals with `SealPending`;
+///  - `EraseId` tombstones a row in place (`live` byte cleared, O(1) via the
+///    id → row map). Leaf scans fold the live column into their candidate
+///    mask branchlessly, and `PartitionLiveFirst` lets crack steps sweep the
+///    dead rows of a range aside in passing.
 template <int D>
 class CrackArray {
  public:
+  static constexpr std::size_t kNoRow =
+      std::numeric_limits<std::size_t>::max();
+
   CrackArray() = default;
   explicit CrackArray(const Dataset<D>& data) { Reset(data); }
 
-  /// (Re)builds the columns from `data`, restoring dataset order. The
-  /// dataset must outlive the array (the usual `SpatialIndex` contract).
+  /// (Re)builds the columns from `data` in dataset order (ids are dataset
+  /// positions, everything live and structured).
   void Reset(const Dataset<D>& data) {
-    data_ = &data;
-    const std::size_t n = data.size();
+    Clear();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      Append(static_cast<ObjectId>(i), data[i]);
+    }
+    SealPending();
+  }
+
+  /// Empties the array (no rows, no tombstones, no pending tail).
+  void Clear() {
     for (int d = 0; d < D; ++d) {
-      keys_[static_cast<std::size_t>(d)].resize(n);
-      los_[static_cast<std::size_t>(d)].resize(n);
-      his_[static_cast<std::size_t>(d)].resize(n);
+      const std::size_t dd = static_cast<std::size_t>(d);
+      keys_[dd].clear();
+      los_[dd].clear();
+      his_[dd].clear();
     }
-    ids_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      ids_[i] = static_cast<ObjectId>(i);
-      for (int d = 0; d < D; ++d) {
-        const std::size_t dd = static_cast<std::size_t>(d);
-        keys_[dd][i] = CenterKey(data[i], d);
-        los_[dd][i] = data[i].lo[d];
-        his_[dd][i] = data[i].hi[d];
-      }
+    ids_.clear();
+    live_.clear();
+    row_of_.clear();
+    tombstones_ = 0;
+    pending_begin_ = 0;
+  }
+
+  /// Appends a live row for `id` to the pending tail. The id must not have
+  /// a live row already (the owning index's store enforces this).
+  void Append(ObjectId id, const Box<D>& b) {
+    const std::size_t row = ids_.size();
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      keys_[dd].push_back(CenterKey(b, d));
+      los_[dd].push_back(b.lo[d]);
+      his_[dd].push_back(b.hi[d]);
     }
+    ids_.push_back(id);
+    live_.push_back(1);
+    if (id >= row_of_.size()) {
+      row_of_.resize(static_cast<std::size_t>(id) + 1, kNoRow);
+    }
+    row_of_[id] = row;
+  }
+
+  /// Tombstones the live row of `id` in place. Returns false when the id
+  /// has no live row. The dead row keeps its position (slice offsets stay
+  /// valid) but disappears from every scan; a later `Append` of the same id
+  /// creates a fresh row and the dead one stays dead forever.
+  bool EraseId(ObjectId id) {
+    if (id >= row_of_.size() || row_of_[id] == kNoRow) return false;
+    live_[row_of_[id]] = 0;
+    row_of_[id] = kNoRow;
+    ++tombstones_;
+    return true;
+  }
+
+  /// First row of the pending (appended, not yet structured) tail.
+  std::size_t pending_begin() const { return pending_begin_; }
+  std::size_t pending_count() const { return ids_.size() - pending_begin_; }
+  /// Marks every current row structured (the owner absorbed the tail).
+  void SealPending() { pending_begin_ = ids_.size(); }
+
+  std::size_t tombstones() const { return tombstones_; }
+  bool live(std::size_t i) const { return live_[i] != 0; }
+
+  /// Any tombstoned row in `[begin, end)`? One `memchr` over the dense
+  /// live bytes — the guard that keeps a tombstone elsewhere in the array
+  /// from pessimizing scans and sweeps of clean ranges.
+  bool HasDeadIn(std::size_t begin, std::size_t end) const {
+    return tombstones_ > 0 &&
+           std::memchr(live_.data() + begin, 0, end - begin) != nullptr;
   }
 
   /// The centre key every key column stores: identical arithmetic everywhere
@@ -154,9 +218,17 @@ class CrackArray {
   }
   ObjectId id(std::size_t i) const { return ids_[i]; }
   const std::vector<ObjectId>& ids() const { return ids_; }
-  /// The box of row `i`, fetched from the backing dataset (cold path: tests
-  /// and diagnostics; hot loops use the bound columns instead).
-  const Box<D>& box(std::size_t i) const { return (*data_)[ids_[i]]; }
+  /// The box of row `i`, reassembled from the bound columns (cold path:
+  /// tests and diagnostics; hot loops scan the columns directly).
+  Box<D> box(std::size_t i) const {
+    Box<D> b;
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      b.lo[d] = los_[dd][i];
+      b.hi[d] = his_[dd][i];
+    }
+    return b;
+  }
 
   /// Leaf scan of rows `[begin, end)` against `(q, predicate)`, streaming
   /// the matches into `emit`: per dimension one branchless,
@@ -175,13 +247,20 @@ class CrackArray {
   /// scan emits its whole range without testing anything. Containment
   /// predicates ignore the mask: covered centre keys prove intersection,
   /// not containment.
+  ///
+  /// Tombstoned rows never survive: when the scanned range contains any
+  /// (one `memchr` over the live bytes decides — a tombstone elsewhere in
+  /// the array costs this range nothing), the candidate mask is seeded from
+  /// the live column (one more branchless AND) instead of all-ones, and the
+  /// full-coverage bulk path is bypassed.
   void StreamScan(std::size_t begin, std::size_t end, const Box<D>& q,
                   RangePredicate predicate, unsigned covered_dims,
                   MatchEmitter* emit) {
     const std::size_t len = end - begin;
     if (len == 0) return;
     if (predicate != RangePredicate::kIntersects) covered_dims = 0;
-    if (covered_dims == (1u << D) - 1) {
+    const bool range_has_dead = HasDeadIn(begin, end);
+    if (covered_dims == (1u << D) - 1 && !range_has_dead) {
       if (emit->count_only()) {
         emit->AddAnonymous(len);
       } else {
@@ -189,7 +268,13 @@ class CrackArray {
       }
       return;
     }
-    scan_mask_.assign(len, 1);
+    if (!range_has_dead) {
+      scan_mask_.assign(len, 1);
+    } else {
+      scan_mask_.assign(
+          live_.begin() + static_cast<std::ptrdiff_t>(begin),
+          live_.begin() + static_cast<std::ptrdiff_t>(end));
+    }
     std::uint8_t* mask = scan_mask_.data();
     for (int d = 0; d < D; ++d) {
       if (covered_dims & (1u << d)) continue;
@@ -240,6 +325,17 @@ class CrackArray {
   /// columns. Returns the split position.
   std::size_t CrackOnAxis(std::size_t begin, std::size_t end, int d, Scalar v) {
     return Partition(begin, end, d, [v](Scalar k) { return k < v; });
+  }
+
+  /// Sweeps the tombstoned rows of `[begin, end)` behind the live ones (the
+  /// same blocked partition as a crack step, keyed on the live column).
+  /// Returns the first dead position — the caller shrinks its slice to the
+  /// live prefix and parks the dead suffix where no scan visits it, so a
+  /// refinement compacts erased objects out of the hot range in passing.
+  std::size_t PartitionLiveFirst(std::size_t begin, std::size_t end) {
+    return CrackPartition(
+        live_.data(), begin, end, [](std::uint8_t v) { return v != 0; },
+        [this](std::size_t i, std::size_t j) { SwapRows(i, j); });
   }
 
   struct SplitResult {
@@ -320,13 +416,26 @@ class CrackArray {
       std::swap(his_[dd][i], his_[dd][j]);
     }
     std::swap(ids_[i], ids_[j]);
+    std::swap(live_[i], live_[j]);
+    // Only live rows own their id's map entry: a dead row's id may have
+    // been re-appended as a fresh live row elsewhere, and that mapping
+    // must not be clobbered by moving the stale corpse around.
+    if (live_[i]) row_of_[ids_[i]] = i;
+    if (live_[j]) row_of_[ids_[j]] = j;
   }
 
-  const Dataset<D>* data_ = nullptr;
   std::array<std::vector<Scalar>, D> keys_;
   std::array<std::vector<Scalar>, D> los_;
   std::array<std::vector<Scalar>, D> his_;
   std::vector<ObjectId> ids_;
+  /// Liveness byte per row (1 = live, 0 = tombstone), co-permuted.
+  std::vector<std::uint8_t> live_;
+  /// id → live row (`kNoRow` when the id has no live row), maintained
+  /// through every swap so `EraseId` is O(1).
+  std::vector<std::size_t> row_of_;
+  std::size_t tombstones_ = 0;
+  /// Rows `[pending_begin_, size())` are the unsorted appended tail.
+  std::size_t pending_begin_ = 0;
   /// Reused by `MedianSplit` so pivot selection never reallocates.
   std::vector<Scalar> scratch_;
   /// Reused by `StreamScan`: candidate mask and compressed survivor ids.

@@ -1,0 +1,113 @@
+#ifndef QUASII_COMMON_MUTATION_OVERFLOW_H_
+#define QUASII_COMMON_MUTATION_OVERFLOW_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/object_store.h"
+#include "common/query.h"
+#include "common/query_stats.h"
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// The mutation-overflow state shared by the roster indexes whose primary
+/// structure cannot absorb updates in place (Grid's CSR cells, the packed
+/// R-Tree, SFC's sorted code array, SFCracker's boundary-pinned cracked
+/// array):
+///  - inserts join a *pending* list every query scans exhaustively;
+///  - erases of pending ids remove them physically (O(1) membership test +
+///    swap-pop), erases of built ids flip a per-id *dead* bit the primary
+///    scans skip — per built copy, so a stale copy stays dead even when its
+///    id is later re-inserted (into pending);
+///  - `NeedsRebuild` trips once either side stops being a rounding error,
+///    at which point the owner rebuilds its primary structure from the live
+///    store and calls `Reset`.
+template <int D>
+class MutationOverflow {
+ public:
+  /// Called from the owner's (re)build: every live object is in the
+  /// primary structure now. `slots` is the store's id bound at build time;
+  /// only ids below it can carry a dead bit (younger ids are pending).
+  void Reset(std::size_t slots) {
+    pending_.clear();
+    std::fill(pending_pos_.begin(), pending_pos_.end(), kNone);
+    dead_.assign(slots, 0);
+    dead_count_ = 0;
+  }
+
+  void AddPending(ObjectId id) {
+    if (id >= pending_pos_.size()) {
+      pending_pos_.resize(static_cast<std::size_t>(id) + 1, kNone);
+    }
+    pending_pos_[id] = pending_.size();
+    pending_.push_back(id);
+  }
+
+  /// Routes an erase of a live id: pending ids are removed physically
+  /// (O(1) swap-pop via the position map), built ids are tombstoned.
+  void Erase(ObjectId id) {
+    if (id < pending_pos_.size() && pending_pos_[id] != kNone) {
+      const std::size_t pos = pending_pos_[id];
+      pending_pos_[id] = kNone;
+      const ObjectId moved = pending_.back();
+      pending_.pop_back();
+      if (pos < pending_.size()) {
+        pending_[pos] = moved;
+        pending_pos_[moved] = pos;
+      }
+      return;
+    }
+    if (id < dead_.size()) {
+      dead_[id] = 1;
+      ++dead_count_;
+    }
+  }
+
+  /// Whether built id `id` is tombstoned. Only valid for ids placed in the
+  /// primary structure at the last build (all below `Reset`'s `slots`).
+  bool dead(ObjectId id) const { return dead_[id] != 0; }
+
+  const std::vector<ObjectId>& pending() const { return pending_; }
+  std::size_t dead_count() const { return dead_count_; }
+
+  /// Rebuild once the pending list or the dead fraction outgrows its
+  /// threshold.
+  bool NeedsRebuild(std::size_t live_count) const {
+    return pending_.size() > kSlack + live_count / 8 ||
+           (dead_count_ > kSlack && dead_count_ * 4 > live_count);
+  }
+
+  /// Exhaustive predicate scan of the pending list (its ids are all live —
+  /// erases remove them physically), the per-query tail of every owner's
+  /// `ExecuteBox`.
+  void ScanPending(const ObjectStore<D>& store, const Box<D>& q,
+                   RangePredicate predicate, MatchEmitter* emit,
+                   QueryStats* stats) const {
+    if (pending_.empty()) return;
+    ++stats->partitions_visited;
+    stats->objects_tested += pending_.size();
+    for (const ObjectId id : pending_) {
+      if (MatchesPredicate(store.box(id), q, predicate)) emit->Add(id);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSlack = 64;
+  static constexpr std::size_t kNone =
+      std::numeric_limits<std::size_t>::max();
+
+  std::vector<ObjectId> pending_;
+  /// id → its position in `pending_` (`kNone` when not pending), so erase
+  /// routing and removal are both O(1).
+  std::vector<std::size_t> pending_pos_;
+  std::vector<std::uint8_t> dead_;
+  std::size_t dead_count_ = 0;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_MUTATION_OVERFLOW_H_

@@ -1,0 +1,136 @@
+#ifndef QUASII_COMMON_OBJECT_STORE_H_
+#define QUASII_COMMON_OBJECT_STORE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace quasii {
+
+/// The mutable id → MBB table behind every index's dynamic-data support.
+///
+/// Construction wraps the caller's dataset as a zero-copy *view* (the
+/// bulk-load setting of the paper: ids are dataset positions, everything is
+/// alive). The first `Insert`/`Erase` switches to copy-on-write: the boxes
+/// are copied into an owned table with a per-slot liveness byte, and the
+/// original dataset is never touched again — so several indexes sharing one
+/// dataset each mutate their own store independently.
+///
+/// Semantics (the roster-wide mutation contract):
+///  - `Insert(id, box)` succeeds iff `id` is not currently alive; ids past
+///    the current slot range grow the table, and erased slots may be
+///    re-inserted (possibly with a different box).
+///  - `Erase(id)` succeeds iff `id` is alive; the slot's box stays readable
+///    until a reinsert overwrites it (indexes use it to locate stale
+///    copies), but `alive(id)` turns false immediately.
+///  - `box(id)` may only be called for ids that are (or were) stored;
+///    `boxes()` exposes the full slot table for id-indexed lookups (kNN
+///    drivers) — only live ids may be dereferenced through it.
+template <int D>
+class ObjectStore {
+ public:
+  explicit ObjectStore(const std::vector<Box<D>>& data)
+      : view_(&data), live_count_(data.size()) {}
+
+  /// Upper bound (exclusive) of ids ever stored.
+  std::size_t slots() const { return view_ ? view_->size() : boxes_.size(); }
+  std::size_t live_count() const { return live_count_; }
+  /// True once any `Insert`/`Erase` succeeded (the store owns its boxes).
+  bool mutated() const { return view_ == nullptr; }
+
+  bool alive(ObjectId id) const {
+    if (view_) return id < view_->size();
+    return id < alive_.size() && alive_[id] != 0;
+  }
+
+  const Box<D>& box(ObjectId id) const {
+    return view_ ? (*view_)[id] : boxes_[id];
+  }
+
+  /// The id-indexed slot table (view or owned copy). Slots of erased ids
+  /// hold their last box; only live ids may be dereferenced.
+  const std::vector<Box<D>>& boxes() const {
+    return view_ ? *view_ : boxes_;
+  }
+
+  bool Insert(ObjectId id, const Box<D>& b) {
+    if (alive(id)) return false;
+    Materialize();
+    if (id >= boxes_.size()) {
+      boxes_.resize(static_cast<std::size_t>(id) + 1);
+      alive_.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+    boxes_[id] = b;
+    alive_[id] = 1;
+    ++live_count_;
+    if (bounds_fresh_) bounds_.ExpandToInclude(b);
+    return true;
+  }
+
+  bool Erase(ObjectId id) {
+    if (!alive(id)) return false;
+    Materialize();
+    alive_[id] = 0;
+    --live_count_;
+    // The cached live MBB only shrinks when a boundary-touching box leaves.
+    if (bounds_fresh_ && !StrictlyInside(boxes_[id], bounds_)) {
+      bounds_fresh_ = false;
+    }
+    return true;
+  }
+
+  /// MBB of the live objects — the kNN termination bound. Cached; inserts
+  /// expand it in place, erases of boundary boxes trigger a lazy recompute.
+  const Box<D>& bounds() const {
+    if (!bounds_fresh_) {
+      bounds_ = Box<D>::Empty();
+      ForEachLive([this](ObjectId, const Box<D>& b) {
+        bounds_.ExpandToInclude(b);
+      });
+      bounds_fresh_ = true;
+    }
+    return bounds_;
+  }
+
+  /// Invokes `fn(id, box)` for every live object, in ascending id order.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    if (view_) {
+      for (ObjectId id = 0; id < view_->size(); ++id) fn(id, (*view_)[id]);
+      return;
+    }
+    for (ObjectId id = 0; id < boxes_.size(); ++id) {
+      if (alive_[id]) fn(id, boxes_[id]);
+    }
+  }
+
+ private:
+  /// Copy-on-write switch: copies the viewed dataset into the owned table.
+  void Materialize() {
+    if (!view_) return;
+    boxes_ = *view_;
+    alive_.assign(boxes_.size(), 1);
+    view_ = nullptr;
+  }
+
+  static bool StrictlyInside(const Box<D>& b, const Box<D>& outer) {
+    for (int d = 0; d < D; ++d) {
+      if (b.lo[d] <= outer.lo[d] || b.hi[d] >= outer.hi[d]) return false;
+    }
+    return true;
+  }
+
+  const std::vector<Box<D>>* view_;
+  std::vector<Box<D>> boxes_;
+  std::vector<std::uint8_t> alive_;
+  std::size_t live_count_ = 0;
+  mutable Box<D> bounds_;
+  mutable bool bounds_fresh_ = false;
+};
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_OBJECT_STORE_H_

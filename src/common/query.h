@@ -294,13 +294,18 @@ inline void DrainTopK(TopKSink* topk, Sink* sink) {
 ///
 /// `probe(box, &out)` must append all ids whose MBB intersects `box`
 /// (duplicates within one probe are not allowed); `data` maps ids back to
-/// boxes for the exact distance. The TopK set is rebuilt from scratch each
-/// round (probes are nested, so later rounds re-find earlier candidates).
+/// boxes for the exact distance — only ids the probe emits are ever
+/// dereferenced, so slots of erased objects may hold stale boxes.
+/// `population` is the number of *live* objects (the density input of the
+/// initial radius; under mutation it differs from `data.size()`). The TopK
+/// set is rebuilt from scratch each round (probes are nested, so later
+/// rounds re-find earlier candidates).
 template <int D, typename Probe>
 void ExpandingRingKNearest(const std::vector<Box<D>>& data,
-                           const Box<D>& bounds, const Point<D>& pt,
-                           std::size_t k, TopKSink* topk, Probe&& probe) {
-  if (k == 0 || data.empty() || bounds.IsEmpty()) return;
+                           std::size_t population, const Box<D>& bounds,
+                           const Point<D>& pt, std::size_t k, TopKSink* topk,
+                           Probe&& probe) {
+  if (k == 0 || population == 0 || bounds.IsEmpty()) return;
   double max_extent = 0;
   for (int d = 0; d < D; ++d) {
     max_extent = std::max(max_extent, static_cast<double>(bounds.Extent(d)));
@@ -310,7 +315,7 @@ void ExpandingRingKNearest(const std::vector<Box<D>>& data,
   // waste rounds on empty cubes) and strictly positive (degenerate bounds).
   double r = 0.5 * max_extent *
              std::pow((static_cast<double>(k) + 1.0) /
-                          static_cast<double>(data.size()),
+                          static_cast<double>(population),
                       1.0 / D);
   r = std::max(r, std::sqrt(bounds.MinDistSquaredTo(pt)));
   if (!(r > 0)) r = 1;

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/object_store.h"
 #include "common/query.h"
 #include "common/query_stats.h"
 #include "geometry/box.h"
@@ -11,7 +12,7 @@
 namespace quasii {
 
 /// An object as stored inside reorganizable index arrays: its MBB plus the
-/// identifier pointing back into the original dataset.
+/// identifier pointing back into the object store.
 template <int D>
 struct Entry {
   Box<D> box;
@@ -25,14 +26,19 @@ using Entry3 = Entry<3>;
 /// Scan, SFC, SFCracker, Grid, Mosaic, R-Tree, QUASII).
 ///
 /// Usage protocol:
-///   1. construct with the dataset (all raw data is available up front —
-///      the paper's static setting, Section 2);
+///   1. construct with the dataset (ids are dataset positions); the base
+///      class wraps it in a copy-on-write `ObjectStore`, so the caller's
+///      vector is never mutated;
 ///   2. call `Build()` once — static indexes pay their pre-processing cost
 ///      here, incremental ones return immediately;
 ///   3. call `Execute()` repeatedly with typed queries (range with a
 ///      topological predicate, point, count, k-nearest), streaming results
 ///      into a `Sink`. Incremental indexes reorganize internal state as a
-///      side effect, which is why `Execute` is non-const.
+///      side effect, which is why `Execute` is non-const;
+///   4. interleave `Insert(id, box)` / `Erase(id)` freely with queries —
+///      the store enforces the roster-wide mutation semantics (insert only
+///      non-live ids, erase only live ones, reinsert-after-erase allowed)
+///      and each index maintains its structure via `OnInsert`/`OnErase`.
 ///
 /// `Execute` normalizes the query — empty boxes short-circuit (an inverted
 /// box matches nothing and must not trigger reorganization), a point query
@@ -51,6 +57,27 @@ class SpatialIndex {
 
   /// One-off pre-processing. No-op for incremental indexes.
   virtual void Build() {}
+
+  /// Adds object `id` with MBB `box`. Fails (returns false, no state
+  /// change) when `id` is currently live or `box` is empty; an id erased
+  /// earlier may be re-inserted, with any box.
+  bool Insert(ObjectId id, const Box<D>& box) {
+    if (box.IsEmpty()) return false;
+    if (!store_.Insert(id, box)) return false;
+    OnInsert(id, box);
+    return true;
+  }
+
+  /// Removes object `id`. Fails (returns false) when `id` is not live —
+  /// including ids that were never inserted.
+  bool Erase(ObjectId id) {
+    if (!store_.Erase(id)) return false;
+    OnErase(id);
+    return true;
+  }
+
+  /// The index's view of the object population (live set, boxes, bounds).
+  const ObjectStore<D>& store() const { return store_; }
 
   /// Typed query execution: the one entry point every query type funnels
   /// through.
@@ -90,6 +117,15 @@ class SpatialIndex {
   void ResetStats() { stats_.Reset(); }
 
  protected:
+  explicit SpatialIndex(const std::vector<Box<D>>& data) : store_(data) {}
+
+  /// Structure maintenance after a successful store insert/erase. Called
+  /// exactly once per accepted mutation, after the store reflects it (so
+  /// `store().box(id)` is the new box in `OnInsert`, and still the erased
+  /// object's box in `OnErase`).
+  virtual void OnInsert(ObjectId id, const Box<D>& box) = 0;
+  virtual void OnErase(ObjectId id) = 0;
+
   /// Range/point/count execution over a non-empty (possibly zero-extent)
   /// box. Implementations stream ids via `Emit`/`EmitRun` — or, when
   /// `count_only`, report anonymous totals via `AddMatches` and never touch
@@ -107,12 +143,12 @@ class SpatialIndex {
   /// nearest-neighbor traversal: expanding-ring range probes through this
   /// index's own `ExecuteBox` (so incremental indexes keep reorganizing
   /// under kNN workloads), drained into `sink` in (distance, id) order.
-  /// `data` maps ids back to boxes; `bounds` is the dataset MBB.
-  void RingKNearest(const std::vector<Box<D>>& data, const Box<D>& bounds,
-                    const Point<D>& pt, std::size_t k, Sink& sink) {
+  /// Boxes and the live bounds come from the object store, so the ring
+  /// tracks inserts and erases automatically.
+  void RingKNearest(const Point<D>& pt, std::size_t k, Sink& sink) {
     TopKSink topk(k);
     ExpandingRingKNearest<D>(
-        data, bounds, pt, k, &topk,
+        store_.boxes(), store_.live_count(), store_.bounds(), pt, k, &topk,
         [this](const Box<D>& cube, std::vector<ObjectId>* out) {
           VectorSink probe_sink(out);
           ExecuteBox(cube, RangePredicate::kIntersects, /*count_only=*/false,
@@ -121,6 +157,7 @@ class SpatialIndex {
     DrainTopK(&topk, &sink);
   }
 
+  ObjectStore<D> store_;
   QueryStats stats_;
 };
 

@@ -3,12 +3,14 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <numeric>
 #include <string_view>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/mutation_overflow.h"
 #include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
@@ -25,6 +27,12 @@ enum class GridAssignment { kQueryExtension, kReplication };
 /// The static uniform grid — the space-oriented counterpart of Mosaic in the
 /// paper's evaluation (Section 6.1) and the cheapest-to-build static index.
 /// Cells are stored CSR-style: one flat id array plus per-cell offsets.
+///
+/// Mutations use the overflow pattern shared by the static roster indexes:
+/// inserts join a pending list every query scans exhaustively, erases of
+/// built objects flip a per-id dead bit the cell scans skip, and once either
+/// side outgrows its threshold the CSR directory is rebuilt from the live
+/// set.
 template <int D>
 class GridIndex final : public SpatialIndex<D> {
  public:
@@ -39,7 +47,7 @@ class GridIndex final : public SpatialIndex<D> {
   /// objects outside it are clamped into the boundary cells.
   GridIndex(const Dataset<D>& data, const Box<D>& universe,
             const Params& params)
-      : data_(&data), universe_(universe), params_(params) {
+      : SpatialIndex<D>(data), universe_(universe), params_(params) {
     name_ = params.assignment == GridAssignment::kQueryExtension
                 ? "GridQueryExt"
                 : "GridReplication";
@@ -49,9 +57,10 @@ class GridIndex final : public SpatialIndex<D> {
 
   int partitions_per_dim() const { return params_.partitions_per_dim; }
 
-  /// Builds the CSR cell directory (the grid's whole pre-processing cost).
+  /// Builds the CSR cell directory from the live object set (the grid's
+  /// whole pre-processing cost; also the mutation-overflow rebuild).
   void Build() override {
-    const Dataset<D>& data = *data_;
+    const ObjectStore<D>& store = this->store_;
     const int p = params_.partitions_per_dim;
     std::size_t num_cells = 1;
     for (int d = 0; d < D; ++d) {
@@ -67,51 +76,66 @@ class GridIndex final : public SpatialIndex<D> {
       strides_[d] = strides_[d - 1] * static_cast<std::size_t>(p);
     }
     half_extent_ = Point<D>{};
-    data_bounds_ = Box<D>::Empty();
-    for (const Box<D>& b : data) {
-      data_bounds_.ExpandToInclude(b);
+    store.ForEachLive([this](ObjectId, const Box<D>& b) {
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
       }
-    }
+    });
 
     // Counting pass, prefix sum, placement pass.
     cell_start_.assign(num_cells + 1, 0);
     if (params_.assignment == GridAssignment::kQueryExtension) {
-      for (const Box<D>& b : data) {
+      store.ForEachLive([this](ObjectId, const Box<D>& b) {
         ++cell_start_[CellIndexOf(b.Center()) + 1];
-      }
+      });
     } else {
-      for (const Box<D>& b : data) {
-        ForEachCell(CellRectOf(b), [&](std::size_t cell) {
+      store.ForEachLive([this](ObjectId, const Box<D>& b) {
+        ForEachCell(CellRectOf(b), [this](std::size_t cell) {
           ++cell_start_[cell + 1];
         });
-      }
+      });
     }
     std::partial_sum(cell_start_.begin(), cell_start_.end(),
                      cell_start_.begin());
     entries_.resize(cell_start_.back());
     std::vector<std::size_t> fill(cell_start_.begin(),
                                   cell_start_.end() - 1);
-    for (ObjectId i = 0; i < data.size(); ++i) {
+    store.ForEachLive([&](ObjectId id, const Box<D>& b) {
       if (params_.assignment == GridAssignment::kQueryExtension) {
-        entries_[fill[CellIndexOf(data[i].Center())]++] = i;
+        entries_[fill[CellIndexOf(b.Center())]++] = id;
       } else {
-        ForEachCell(CellRectOf(data[i]),
-                    [&](std::size_t cell) { entries_[fill[cell]++] = i; });
+        ForEachCell(CellRectOf(b),
+                    [&](std::size_t cell) { entries_[fill[cell]++] = id; });
       }
-    }
+    });
     if (params_.assignment == GridAssignment::kReplication) {
-      last_seen_.assign(data.size(), 0);
+      last_seen_.assign(store.slots(), 0);
+      epoch_ = 0;
     }
+    overflow_.Reset(store.slots());
     built_ = true;
   }
 
  protected:
+  /// Inserts overflow into the pending list (scanned exhaustively by every
+  /// query, so no grid geometry is consulted for them) until a rebuild
+  /// folds them into cells.
+  void OnInsert(ObjectId id, const Box<D>&) override {
+    if (!built_) return;  // Build() reads the store wholesale
+    overflow_.AddPending(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Build();
+  }
+
+  void OnErase(ObjectId id) override {
+    if (!built_) return;
+    overflow_.Erase(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Build();
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     if (!built_) Build();
-    const Dataset<D>& data = *data_;
+    const ObjectStore<D>& store = this->store_;
     MatchEmitter emit(count_only, &sink);
     if (params_.assignment == GridAssignment::kQueryExtension) {
       // The query is extended by half the max object extent so that every
@@ -126,9 +150,10 @@ class GridIndex final : public SpatialIndex<D> {
         ++this->stats_.partitions_visited;
         for (std::size_t k = cell_start_[cell]; k < cell_start_[cell + 1];
              ++k) {
-          ++this->stats_.objects_tested;
           const ObjectId id = entries_[k];
-          if (MatchesPredicate(data[id], q, predicate)) emit.Add(id);
+          if (overflow_.dead(id)) continue;
+          ++this->stats_.objects_tested;
+          if (MatchesPredicate(store.box(id), q, predicate)) emit.Add(id);
         }
       });
     } else {
@@ -145,23 +170,26 @@ class GridIndex final : public SpatialIndex<D> {
         for (std::size_t k = cell_start_[cell]; k < cell_start_[cell + 1];
              ++k) {
           const ObjectId id = entries_[k];
+          if (overflow_.dead(id)) continue;
           if (last_seen_[id] == epoch_) {
             ++this->stats_.duplicates_removed;
             continue;
           }
           last_seen_[id] = epoch_;
           ++this->stats_.objects_tested;
-          if (MatchesPredicate(data[id], q, predicate)) emit.Add(id);
+          if (MatchesPredicate(store.box(id), q, predicate)) emit.Add(id);
         }
       });
     }
+    // Pending objects are not in any cell yet.
+    overflow_.ScanPending(store, q, predicate, &emit, &this->stats_);
     emit.Flush();
   }
 
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
     if (!built_) Build();
-    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+    this->RingKNearest(pt, k, sink);
   }
 
  private:
@@ -217,7 +245,6 @@ class GridIndex final : public SpatialIndex<D> {
     }
   }
 
-  const Dataset<D>* data_;
   Box<D> universe_;
   Params params_;
   std::string_view name_;
@@ -226,10 +253,11 @@ class GridIndex final : public SpatialIndex<D> {
   std::array<double, D> inv_cell_width_{};
   std::array<std::size_t, D> strides_{};
   Point<D> half_extent_{};
-  /// MBB of the dataset — the expanding-ring kNN termination bound.
-  Box<D> data_bounds_;
   std::vector<std::size_t> cell_start_;
   std::vector<ObjectId> entries_;
+  /// Shared mutation-overflow state (pending inserts + built-id
+  /// tombstones).
+  MutationOverflow<D> overflow_;
 
   // Replication de-duplication stamps (one epoch per query).
   std::vector<std::uint32_t> last_seen_;

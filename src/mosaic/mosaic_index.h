@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <numeric>
 #include <string_view>
 #include <vector>
 
@@ -27,6 +26,12 @@ namespace quasii {
 /// objects (Fig. 6a) — so queries are extended by half the maximum object
 /// extent during traversal and candidates are filtered against the original
 /// query box.
+///
+/// Centre assignment is deterministic, which makes mutations physical and
+/// tombstone-free: an insert descends to the one leaf its centre selects
+/// and drops the id there (an overflowing leaf splits lazily at the next
+/// query that touches it, Mosaic's normal incremental behaviour); an erase
+/// descends the same way and removes the id.
 template <int D>
 class MosaicIndex final : public SpatialIndex<D> {
  public:
@@ -47,7 +52,7 @@ class MosaicIndex final : public SpatialIndex<D> {
 
   MosaicIndex(const Dataset<D>& data, const Box<D>& universe,
               const Params& params = Params{})
-      : data_(&data), universe_(universe), params_(params) {}
+      : SpatialIndex<D>(data), universe_(universe), params_(params) {}
 
   std::string_view name() const override { return "Mosaic"; }
 
@@ -58,6 +63,28 @@ class MosaicIndex final : public SpatialIndex<D> {
   bool initialized() const { return initialized_; }
 
  protected:
+  void OnInsert(ObjectId id, const Box<D>& box) override {
+    if (!initialized_) return;  // Initialize() reads the store wholesale
+    for (int d = 0; d < D; ++d) {
+      half_extent_[d] = std::max(half_extent_[d], box.Extent(d) / 2);
+    }
+    DescendToLeaf(box.Center())->objects.push_back(id);
+  }
+
+  void OnErase(ObjectId id) override {
+    if (!initialized_) return;
+    // The store still holds the erased object's box, and centre assignment
+    // is deterministic, so the id sits in exactly the leaf its centre
+    // descends to.
+    Node* leaf = DescendToLeaf(this->store_.box(id).Center());
+    auto& objects = leaf->objects;
+    const auto it = std::find(objects.begin(), objects.end(), id);
+    if (it != objects.end()) {
+      *it = objects.back();
+      objects.pop_back();
+    }
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     if (!initialized_) Initialize();
@@ -75,7 +102,7 @@ class MosaicIndex final : public SpatialIndex<D> {
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
     if (!initialized_) Initialize();
-    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+    this->RingKNearest(pt, k, sink);
   }
 
  private:
@@ -89,26 +116,42 @@ class MosaicIndex final : public SpatialIndex<D> {
   static constexpr std::size_t kChildren = std::size_t{1} << D;
 
   void Initialize() {
-    const Dataset<D>& data = *data_;
     root_.bounds = universe_;
-    root_.objects.resize(data.size());
-    std::iota(root_.objects.begin(), root_.objects.end(), ObjectId{0});
+    root_.objects.clear();
+    root_.children.clear();
     half_extent_ = Point<D>{};
-    data_bounds_ = Box<D>::Empty();
-    for (const Box<D>& b : data) {
-      data_bounds_.ExpandToInclude(b);
+    this->store_.ForEachLive([this](ObjectId id, const Box<D>& b) {
+      root_.objects.push_back(id);
       for (int d = 0; d < D; ++d) {
         half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
       }
-    }
+    });
     initialized_ = true;
+  }
+
+  /// The child a centre selects under a node — the one assignment rule
+  /// shared by `Split`, insertion, and erasure, so every object is always
+  /// findable by descending with its centre.
+  static std::size_t ChildOf(const Point<D>& centre, const Point<D>& mid) {
+    std::size_t c = 0;
+    for (int d = 0; d < D; ++d) {
+      if (centre[d] > mid[d]) c |= std::size_t{1} << d;
+    }
+    return c;
+  }
+
+  Node* DescendToLeaf(const Point<D>& centre) {
+    Node* node = &root_;
+    while (!node->is_leaf()) {
+      node = &node->children[ChildOf(centre, node->bounds.Center())];
+    }
+    return node;
   }
 
   /// Splits a leaf into 2^D children and reassigns its objects by centre —
   /// the re-partitioning work that makes Mosaic's incremental strategy
   /// expensive in frequently queried areas (Section 6.3).
   void Split(Node* node) {
-    const Dataset<D>& data = *data_;
     const Point<D> mid = node->bounds.Center();
     node->children.resize(kChildren);
     for (std::size_t c = 0; c < kChildren; ++c) {
@@ -124,11 +167,7 @@ class MosaicIndex final : public SpatialIndex<D> {
       }
     }
     for (const ObjectId id : node->objects) {
-      const Point<D> centre = data[id].Center();
-      std::size_t c = 0;
-      for (int d = 0; d < D; ++d) {
-        if (centre[d] > mid[d]) c |= std::size_t{1} << d;
-      }
+      const std::size_t c = ChildOf(this->store_.box(id).Center(), mid);
       node->children[c].objects.push_back(id);
     }
     ++this->stats_.cracks;
@@ -145,10 +184,10 @@ class MosaicIndex final : public SpatialIndex<D> {
         Split(node);
         // fall through to the children loop below
       } else {
-        const Dataset<D>& data = *data_;
         this->stats_.objects_tested += node->objects.size();
         for (const ObjectId id : node->objects) {
-          if (MatchesPredicate(data[id], *ctx.q, ctx.predicate)) {
+          if (MatchesPredicate(this->store_.box(id), *ctx.q,
+                               ctx.predicate)) {
             ctx.emit->Add(id);
           }
         }
@@ -162,14 +201,11 @@ class MosaicIndex final : public SpatialIndex<D> {
     }
   }
 
-  const Dataset<D>* data_;
   Box<D> universe_;
   Params params_;
   bool initialized_ = false;
   Node root_;
   Point<D> half_extent_{};
-  /// MBB of the dataset — the expanding-ring kNN termination bound.
-  Box<D> data_bounds_;
 };
 
 }  // namespace quasii

@@ -55,6 +55,22 @@ namespace quasii {
 ///    leaves via anonymous `AddMatches` — the id column is never read;
 ///  - kNN runs an expanding ring of range probes through the normal descent,
 ///    so nearest-neighbor workloads build the index too.
+///
+/// Mutations are handled incrementally, in the spirit of the paper's
+/// query-driven refinement:
+///  - inserts land in the crack array's unsorted pending tail; the next
+///    query promotes the tail to a root-level slice with open value bounds
+///    (consecutive promotions merge while the previous one is still
+///    unrefined), which subsequent queries crack down lazily exactly like
+///    initial data — an insert itself never cracks anything;
+///  - erases tombstone the object's row in place (O(1) via the id → row
+///    map); leaf scans skip tombstones branchlessly through the live mask,
+///    refinement sweeps the dead rows of a cracked slice aside in passing,
+///    and once tombstones exceed a quarter of the array the whole structure
+///    is rebuilt from the live set;
+///  - both mutations re-derive the per-level size thresholds from the live
+///    count, so the slice hierarchy's geometric progression keeps tracking
+///    the population as it grows and shrinks.
 template <int D>
 class QuasiiIndex final : public SpatialIndex<D> {
  public:
@@ -83,7 +99,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
   };
 
   explicit QuasiiIndex(const Dataset<D>& data, const Params& params = Params{})
-      : data_(&data), params_(params) {}
+      : SpatialIndex<D>(data), params_(params) {}
 
   std::string_view name() const override { return "QUASII"; }
 
@@ -100,9 +116,30 @@ class QuasiiIndex final : public SpatialIndex<D> {
   bool initialized() const { return initialized_; }
 
  protected:
+  /// Inserts never reorganize: the new row joins the pending tail and the
+  /// next query drains it through the normal refinement machinery.
+  void OnInsert(ObjectId id, const Box<D>& box) override {
+    if (!initialized_) return;  // Initialize() reads the store wholesale
+    array_.Append(id, box);
+    for (int d = 0; d < D; ++d) {
+      half_extent_[d] = std::max(half_extent_[d], box.Extent(d) / 2);
+    }
+    ComputeThresholds(LiveRows());
+  }
+
+  /// Erases tombstone in place; scans skip the row branchlessly until a
+  /// refinement sweeps it aside or a compaction reclaims it.
+  void OnErase(ObjectId id) override {
+    if (!initialized_) return;
+    array_.EraseId(id);
+    ComputeThresholds(LiveRows());
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     if (!initialized_) Initialize();
+    MaybeCompact();
+    AbsorbPending();
     if (array_.empty()) return;
     // Half-open extended query: `[lo, hi)` per dimension covers every centre
     // key of an object whose MBB can intersect `q` (centre-based assignment
@@ -126,8 +163,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
     if (!initialized_) Initialize();
-    if (array_.empty()) return;
-    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+    this->RingKNearest(pt, k, sink);
   }
 
  private:
@@ -138,13 +174,23 @@ class QuasiiIndex final : public SpatialIndex<D> {
     MatchEmitter* emit;
   };
 
-  /// First-query work: build the structure-of-arrays columns and derive the
-  /// per-level thresholds and the query-extension amounts.
+  std::size_t LiveRows() const {
+    return array_.size() - array_.tombstones();
+  }
+
+  /// First-query (and compaction) work: build the structure-of-arrays
+  /// columns from the live object set and derive the per-level thresholds
+  /// and the query-extension amounts.
   void Initialize() {
-    array_.Reset(*data_);
-    half_extent_ = MaxExtents(*data_);
-    for (int d = 0; d < D; ++d) half_extent_[d] /= 2;
-    data_bounds_ = BoundingBoxOf(*data_);
+    array_.Clear();
+    half_extent_ = Point<D>{};
+    this->store_.ForEachLive([this](ObjectId id, const Box<D>& b) {
+      array_.Append(id, b);
+      for (int d = 0; d < D; ++d) {
+        half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
+      }
+    });
+    array_.SealPending();
     ComputeThresholds(array_.size());
     root_.clear();
     Slice root;
@@ -155,6 +201,45 @@ class QuasiiIndex final : public SpatialIndex<D> {
     root.hi = std::numeric_limits<Scalar>::infinity();
     root_.push_back(std::move(root));
     initialized_ = true;
+  }
+
+  /// Rebuilds from the live set once tombstones dominate: the one O(n)
+  /// reclamation backing the otherwise in-passing compaction.
+  void MaybeCompact() {
+    const std::size_t dead = array_.tombstones();
+    if (dead < kMinCompactTombstones || dead * 4 < array_.size()) return;
+    this->stats_.objects_moved += LiveRows();
+    Initialize();
+  }
+
+  /// Drains the pending tail into the slice hierarchy: the tail becomes a
+  /// root-level slice with open value bounds that queries refine lazily,
+  /// exactly like initial data. While the previously promoted slice is
+  /// still unrefined (open bounds, no cracks, no children) the new tail
+  /// merges into it, so insert-heavy phases cannot grow the root list by
+  /// one slice per query.
+  void AbsorbPending() {
+    const std::size_t begin = array_.pending_begin();
+    const std::size_t end = array_.size();
+    if (begin == end) return;
+    constexpr Scalar kInf = std::numeric_limits<Scalar>::infinity();
+    if (!root_.empty()) {
+      Slice& last = root_.back();
+      if (last.end == begin && last.children.empty() && !last.frozen &&
+          last.lo == -kInf && last.hi == kInf) {
+        last.end = end;
+        array_.SealPending();
+        return;
+      }
+    }
+    Slice tail;
+    tail.level = 0;
+    tail.begin = begin;
+    tail.end = end;
+    tail.lo = -kInf;
+    tail.hi = kInf;
+    root_.push_back(std::move(tail));
+    array_.SealPending();
   }
 
   void ComputeThresholds(std::size_t n) {
@@ -185,12 +270,34 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// until every piece obeys the level threshold. The returned pieces are
   /// position- and value-ordered, exactly tile the input slice, and live in
   /// this level's scratch buffer (valid until the next same-level `Refine`).
+  ///
+  /// When the array carries tombstones, the dead rows of the slice are
+  /// first swept behind the live ones and parked in a frozen slice whose
+  /// empty value interval (`lo == hi == +inf`) no traversal ever enters —
+  /// cracking compacts erased objects out of the hot range in passing.
   std::vector<Slice>& Refine(Slice s, const Box<D>& ext) {
     const int d = s.level;
     const Scalar qlo = ext.lo[d];
     const Scalar qhi = ext.hi[d];
     std::vector<Slice>& out = refine_scratch_[static_cast<std::size_t>(d)];
     out.clear();
+    Slice dead;
+    bool have_dead = false;
+    if (array_.HasDeadIn(s.begin, s.end)) {
+      const std::size_t live_end = array_.PartitionLiveFirst(s.begin, s.end);
+      if (live_end < s.end) {
+        ++this->stats_.cracks;
+        this->stats_.objects_moved += s.size();
+        dead.level = d;
+        dead.begin = live_end;
+        dead.end = s.end;
+        dead.lo = std::numeric_limits<Scalar>::infinity();
+        dead.hi = std::numeric_limits<Scalar>::infinity();
+        dead.frozen = true;
+        have_dead = true;
+        s.end = live_end;
+      }
+    }
     if (qlo > s.lo) {
       const std::size_t pos = CrackOnAxis(s.begin, s.end, d, qlo);
       if (pos > s.begin) {
@@ -222,6 +329,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
     }
     SplitToThreshold(std::move(s), &out);
     if (have_right) out.push_back(std::move(right));
+    if (have_dead) out.push_back(std::move(dead));
     return out;
   }
 
@@ -341,14 +449,14 @@ class QuasiiIndex final : public SpatialIndex<D> {
     Visit(&s->children, ctx, ext, covered);
   }
 
-  const Dataset<D>* data_;
+  /// Tombstone count below which compaction is never worth an O(n) rebuild.
+  static constexpr std::size_t kMinCompactTombstones = 64;
+
   Params params_;
   bool initialized_ = false;
-  /// Shared structure-of-arrays cracking core (keys, ids, boxes).
+  /// Shared structure-of-arrays cracking core (keys, ids, bounds, live).
   CrackArray<D> array_;
   Point<D> half_extent_{};
-  /// MBB of the dataset — the expanding-ring kNN termination bound.
-  Box<D> data_bounds_;
   std::array<std::size_t, D> threshold_{};
   /// Level-0 slices, ordered by array position (== key order).
   std::vector<Slice> root_;

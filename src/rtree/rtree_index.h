@@ -1,6 +1,7 @@
 #ifndef QUASII_RTREE_RTREE_INDEX_H_
 #define QUASII_RTREE_RTREE_INDEX_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <queue>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/mutation_overflow.h"
 #include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
@@ -33,6 +35,12 @@ namespace quasii {
 ///    fully inside an intersection/containment count adds its `count`
 ///    without descending (and never touches an id);
 ///  - `kKNearest` is classic best-first search over node MBB distances.
+///
+/// Mutations use the overflow pattern of the static roster indexes: inserts
+/// join a pending list every traversal also considers, erases of packed
+/// entries flip a per-id dead bit — which disables the bulk-resolve fast
+/// paths (node MBBs and subtree counts are stale upper bounds then) — and a
+/// rebuild re-packs the live set once either side outgrows its threshold.
 template <int D>
 class RTreeIndex final : public SpatialIndex<D> {
  public:
@@ -51,14 +59,19 @@ class RTreeIndex final : public SpatialIndex<D> {
     std::size_t count = 0;
   };
 
-  /// Copies `data` into the internal entry array (STR reorders it).
   RTreeIndex(const Dataset<D>& data, const Params& params = Params{})
-      : entries_(MakeEntries(data)), params_(params) {}
+      : SpatialIndex<D>(data), params_(params) {}
 
   std::string_view name() const override { return "R-Tree"; }
 
-  /// STR bulk load: the R-Tree's whole pre-processing cost.
+  /// STR bulk load over the live object set: the R-Tree's whole
+  /// pre-processing cost (also the mutation-overflow rebuild).
   void Build() override {
+    entries_.clear();
+    this->store_.ForEachLive([this](ObjectId id, const Box<D>& b) {
+      entries_.push_back(Entry<D>{b, id});
+    });
+    overflow_.Reset(this->store_.slots());
     levels_.clear();
     const std::size_t cap = params_.node_capacity;
     StrSort<D>(entries_, 0, entries_.size(), /*dim=*/0, cap,
@@ -110,12 +123,26 @@ class RTreeIndex final : public SpatialIndex<D> {
   std::size_t depth() const { return levels_.size(); }
 
  protected:
+  void OnInsert(ObjectId id, const Box<D>&) override {
+    if (!built_) return;  // Build() reads the store wholesale
+    overflow_.AddPending(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Build();
+  }
+
+  void OnErase(ObjectId id) override {
+    if (!built_) return;
+    overflow_.Erase(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Build();
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     if (!built_) Build();
     MatchEmitter emit(count_only, &sink);
     const BoxExec ctx{&q, predicate, &emit};
     QueryNode(ctx, levels_.size() - 1, 0);
+    // Pending objects live outside the packed tree until a rebuild.
+    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->stats_);
     emit.Flush();
   }
 
@@ -128,6 +155,12 @@ class RTreeIndex final : public SpatialIndex<D> {
                        Sink& sink) override {
     if (!built_) Build();
     TopKSink topk(k);
+    // Offer the pending overflow first: it only tightens the prune bound,
+    // and the (distance, id) tie-break keeps results index-independent.
+    this->stats_.objects_tested += overflow_.pending().size();
+    for (const ObjectId id : overflow_.pending()) {
+      topk.Offer(id, this->store_.box(id).MinDistSquaredTo(pt));
+    }
     struct QueueItem {
       double dist_sq;
       std::size_t level;
@@ -146,8 +179,9 @@ class RTreeIndex final : public SpatialIndex<D> {
       const Node& node = levels_[item.level][item.idx];
       ++this->stats_.partitions_visited;
       if (item.level == 0) {
-        this->stats_.objects_tested += node.end - node.begin;
         for (std::size_t i = node.begin; i < node.end; ++i) {
+          if (overflow_.dead(entries_[i].id)) continue;
+          ++this->stats_.objects_tested;
           topk.Offer(entries_[i].id, entries_[i].box.MinDistSquaredTo(pt));
         }
         continue;
@@ -192,8 +226,11 @@ class RTreeIndex final : public SpatialIndex<D> {
   void QueryNode(const BoxExec& ctx, std::size_t level, std::size_t node_idx) {
     const Node& node = levels_[level][node_idx];
     ++this->stats_.partitions_visited;
+    // Bulk resolution trusts node MBBs and subtree counts, which erases
+    // turn into stale upper bounds — any tombstone disables the shortcuts.
+    const bool may_bulk = overflow_.dead_count() == 0;
     if (level == 0) {
-      if (SubtreeAllMatch(node.box, *ctx.q, ctx.predicate)) {
+      if (may_bulk && SubtreeAllMatch(node.box, *ctx.q, ctx.predicate)) {
         // Whole leaf matches: resolve in bulk without a single box test.
         this->stats_.objects_tested += node.count;
         if (ctx.emit->count_only()) {
@@ -206,6 +243,7 @@ class RTreeIndex final : public SpatialIndex<D> {
         return;
       }
       for (std::size_t i = node.begin; i < node.end; ++i) {
+        if (overflow_.dead(entries_[i].id)) continue;
         ++this->stats_.objects_tested;
         if (MatchesPredicate(entries_[i].box, *ctx.q, ctx.predicate)) {
           ctx.emit->Add(entries_[i].id);
@@ -215,7 +253,7 @@ class RTreeIndex final : public SpatialIndex<D> {
     }
     const std::vector<Node>& below = levels_[level - 1];
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      if (ctx.emit->count_only() &&
+      if (may_bulk && ctx.emit->count_only() &&
           SubtreeAllMatch(below[i].box, *ctx.q, ctx.predicate)) {
         // Count bulk path: the whole subtree matches — add its size without
         // descending or touching ids. The resolved entries still count as
@@ -235,6 +273,9 @@ class RTreeIndex final : public SpatialIndex<D> {
   bool built_ = false;
   /// levels_[0] = leaves ... levels_.back() = root level (size 1).
   std::vector<std::vector<Node>> levels_;
+  /// Shared mutation-overflow state (pending inserts + packed-id
+  /// tombstones).
+  MutationOverflow<D> overflow_;
 };
 
 }  // namespace quasii

@@ -12,47 +12,46 @@
 namespace quasii {
 
 /// The index-less baseline: answers every query with a full pass over the
-/// dataset. This is one of the two options scientists have today (Section 2)
-/// and the reference every result set is validated against in the tests —
-/// including kNN, where its exhaustive heap pass is the oracle the indexed
-/// traversals are compared to.
+/// live object set. This is one of the two options scientists have today
+/// (Section 2) and the reference every result set is validated against in
+/// the tests — including kNN, where its exhaustive heap pass is the oracle
+/// the indexed traversals are compared to. Mutations are free: the store is
+/// the entire structure.
 template <int D>
 class ScanIndex final : public SpatialIndex<D> {
  public:
   /// Keeps a reference to `data`; the caller owns it and must keep it alive.
-  explicit ScanIndex(const Dataset<D>& data) : data_(&data) {}
+  explicit ScanIndex(const Dataset<D>& data) : SpatialIndex<D>(data) {}
 
   std::string_view name() const override { return "Scan"; }
 
  protected:
+  void OnInsert(ObjectId, const Box<D>&) override {}
+  void OnErase(ObjectId) override {}
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
-    const Dataset<D>& data = *data_;
     this->stats_.partitions_visited += 1;
-    this->stats_.objects_tested += data.size();
+    this->stats_.objects_tested += this->store_.live_count();
     MatchEmitter emit(count_only, &sink);
-    for (ObjectId i = 0; i < data.size(); ++i) {
-      if (MatchesPredicate(data[i], q, predicate)) emit.Add(i);
-    }
+    this->store_.ForEachLive([&](ObjectId id, const Box<D>& b) {
+      if (MatchesPredicate(b, q, predicate)) emit.Add(id);
+    });
     emit.Flush();
   }
 
-  /// The kNN oracle: one exhaustive pass offering every object's MBB
+  /// The kNN oracle: one exhaustive pass offering every live object's MBB
   /// distance to a bounded best-k heap.
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
-    const Dataset<D>& data = *data_;
     this->stats_.partitions_visited += 1;
-    this->stats_.objects_tested += data.size();
+    this->stats_.objects_tested += this->store_.live_count();
     TopKSink topk(k);
-    for (ObjectId i = 0; i < data.size(); ++i) {
-      topk.Offer(i, data[i].MinDistSquaredTo(pt));
-    }
+    this->store_.ForEachLive([&](ObjectId id, const Box<D>& b) {
+      topk.Offer(id, b.MinDistSquaredTo(pt));
+    });
     DrainTopK(&topk, &sink);
   }
-
- private:
-  const Dataset<D>* data_;
 };
 
 }  // namespace quasii

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/mutation_overflow.h"
 #include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
@@ -34,6 +35,12 @@ enum class SfcQueryStrategy {
 /// 32-bit Z-codes via a uniform grid over the universe and sorted once in
 /// the pre-processing phase; queries are converted to Z-intervals and
 /// resolved with binary search plus an intersection filter.
+///
+/// Mutations use the overflow pattern of the static roster indexes: inserts
+/// join a pending list every query scans exhaustively (no Z-coding until
+/// the next rebuild), erases of sorted entries flip a per-id dead bit the
+/// interval scans skip, and a rebuild re-sorts the live set once either
+/// side outgrows its threshold.
 template <int D>
 class SfcIndex final : public SpatialIndex<D> {
  public:
@@ -47,32 +54,43 @@ class SfcIndex final : public SpatialIndex<D> {
 
   SfcIndex(const Dataset<D>& data, const Box<D>& universe,
            const Params& params = Params{})
-      : data_(&data), grid_(universe), params_(params) {}
+      : SpatialIndex<D>(data), grid_(universe), params_(params) {}
 
   std::string_view name() const override { return "SFC"; }
 
-  /// Pre-processing: Z-code every object's centre cell and sort.
+  /// Pre-processing: Z-code every live object's centre cell and sort.
   void Build() override {
-    const Dataset<D>& data = *data_;
+    const ObjectStore<D>& store = this->store_;
     entries_.clear();
-    entries_.reserve(data.size());
+    entries_.reserve(store.live_count());
     half_extent_ = Point<D>{};
-    data_bounds_ = Box<D>::Empty();
-    for (ObjectId i = 0; i < data.size(); ++i) {
-      entries_.push_back(ZEntry{grid_.CodeOf(data[i].Center()), i});
-      data_bounds_.ExpandToInclude(data[i]);
+    store.ForEachLive([this](ObjectId id, const Box<D>& b) {
+      entries_.push_back(ZEntry{grid_.CodeOf(b.Center()), id});
       for (int d = 0; d < D; ++d) {
-        half_extent_[d] = std::max(half_extent_[d], data[i].Extent(d) / 2);
+        half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
       }
-    }
+    });
     std::sort(entries_.begin(), entries_.end(),
               [](const ZEntry& a, const ZEntry& b) { return a.code < b.code; });
+    overflow_.Reset(store.slots());
     built_ = true;
   }
 
   const std::vector<ZEntry>& entries() const { return entries_; }
 
  protected:
+  void OnInsert(ObjectId id, const Box<D>&) override {
+    if (!built_) return;  // Build() reads the store wholesale
+    overflow_.AddPending(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Build();
+  }
+
+  void OnErase(ObjectId id) override {
+    if (!built_) return;
+    overflow_.Erase(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Build();
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     if (!built_) Build();
@@ -93,13 +111,15 @@ class SfcIndex final : public SpatialIndex<D> {
     } else {
       QueryBigMinScan(ctx, lo, hi);
     }
+    // Pending objects are not Z-coded yet.
+    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->stats_);
     emit.Flush();
   }
 
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
     if (!built_) Build();
-    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+    this->RingKNearest(pt, k, sink);
   }
 
  private:
@@ -113,11 +133,11 @@ class SfcIndex final : public SpatialIndex<D> {
   };
 
   void Scan(const BoxExec& ctx, std::size_t begin, std::size_t end) {
-    const Dataset<D>& data = *data_;
-    this->stats_.objects_tested += end - begin;
     for (std::size_t k = begin; k < end; ++k) {
       const ObjectId id = entries_[k].id;
-      if (MatchesPredicate(data[id], *ctx.q, ctx.predicate)) {
+      if (overflow_.dead(id)) continue;
+      ++this->stats_.objects_tested;
+      if (MatchesPredicate(this->store_.box(id), *ctx.q, ctx.predicate)) {
         ctx.emit->Add(id);
       }
     }
@@ -149,7 +169,6 @@ class SfcIndex final : public SpatialIndex<D> {
   }
 
   void QueryBigMinScan(const BoxExec& ctx, const Cells& lo, const Cells& hi) {
-    const Dataset<D>& data = *data_;
     const zorder::ZCode zmin = zorder::ZTraits<D>::Encode(lo);
     const zorder::ZCode zmax = zorder::ZTraits<D>::Encode(hi);
     std::size_t pos = LowerBound(zmin);
@@ -164,10 +183,13 @@ class SfcIndex final : public SpatialIndex<D> {
         }
       }
       if (in_rect) {
-        ++this->stats_.objects_tested;
         const ObjectId id = entries_[pos].id;
-        if (MatchesPredicate(data[id], *ctx.q, ctx.predicate)) {
-          ctx.emit->Add(id);
+        if (!overflow_.dead(id)) {
+          ++this->stats_.objects_tested;
+          if (MatchesPredicate(this->store_.box(id), *ctx.q,
+                               ctx.predicate)) {
+            ctx.emit->Add(id);
+          }
         }
         ++pos;
         continue;
@@ -181,15 +203,15 @@ class SfcIndex final : public SpatialIndex<D> {
     }
   }
 
-  const Dataset<D>* data_;
   zorder::ZGrid<D> grid_;
   Params params_;
   bool built_ = false;
   std::vector<ZEntry> entries_;
   Point<D> half_extent_{};
-  /// MBB of the dataset — the expanding-ring kNN termination bound.
-  Box<D> data_bounds_;
   std::vector<zorder::ZInterval> intervals_;  // reused across queries
+  /// Shared mutation-overflow state (pending inserts + sorted-id
+  /// tombstones).
+  MutationOverflow<D> overflow_;
 };
 
 }  // namespace quasii

@@ -12,6 +12,7 @@
 
 #include "common/crack_array.h"
 #include "common/dataset.h"
+#include "common/mutation_overflow.h"
 #include "common/query.h"
 #include "common/spatial_index.h"
 #include "geometry/box.h"
@@ -36,6 +37,13 @@ namespace quasii {
 /// Storage is structure-of-arrays (code column + id column) on the same
 /// `CrackPartition` primitive as QUASII's `CrackArray`, so crack comparisons
 /// stream through the dense 8-byte code column only.
+///
+/// Mutations cannot join the cracked code array directly (the boundary map
+/// pins every learned position), so inserts overflow into a pending list
+/// each query scans exhaustively and erases flip a per-id dead bit the
+/// interval scans skip; once either side outgrows its threshold the
+/// transformation restarts from the live set (the cracker re-learns its
+/// boundaries from subsequent queries, the paper's incremental setting).
 template <int D>
 class SfcrackerIndex final : public SpatialIndex<D> {
  public:
@@ -45,7 +53,7 @@ class SfcrackerIndex final : public SpatialIndex<D> {
 
   SfcrackerIndex(const Dataset<D>& data, const Box<D>& universe,
                  const Params& params = Params{})
-      : data_(&data), grid_(universe), params_(params) {}
+      : SpatialIndex<D>(data), grid_(universe), params_(params) {}
 
   std::string_view name() const override { return "SFCracker"; }
 
@@ -54,10 +62,21 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   void Build() override {}
 
  protected:
+  void OnInsert(ObjectId id, const Box<D>&) override {
+    if (!initialized_) return;  // Initialize() reads the store wholesale
+    overflow_.AddPending(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Initialize();
+  }
+
+  void OnErase(ObjectId id) override {
+    if (!initialized_) return;
+    overflow_.Erase(id);
+    if (overflow_.NeedsRebuild(this->store_.live_count())) Initialize();
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     if (!initialized_) Initialize();
-    const Dataset<D>& data = *data_;
 
     Box<D> extended = q;
     for (int d = 0; d < D; ++d) {
@@ -79,12 +98,17 @@ class SfcrackerIndex final : public SpatialIndex<D> {
       if (iv.hi != std::numeric_limits<zorder::ZCode>::max()) {
         end = CrackAt(iv.hi + 1);
       }
-      this->stats_.objects_tested += end - begin;
       for (std::size_t k = begin; k < end; ++k) {
         const ObjectId id = ids_[k];
-        if (MatchesPredicate(data[id], q, predicate)) emit.Add(id);
+        if (overflow_.dead(id)) continue;
+        ++this->stats_.objects_tested;
+        if (MatchesPredicate(this->store_.box(id), q, predicate)) {
+          emit.Add(id);
+        }
       }
     }
+    // Pending objects are not Z-coded yet.
+    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->stats_);
     emit.Flush();
   }
 
@@ -94,7 +118,7 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
     if (!initialized_) Initialize();
-    this->RingKNearest(*data_, data_bounds_, pt, k, sink);
+    this->RingKNearest(pt, k, sink);
   }
 
  public:
@@ -121,21 +145,25 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   bool initialized() const { return initialized_; }
 
  private:
-  /// First-query work: the multi- to one-dimensional transformation.
+  /// First-query (and mutation-overflow restart) work: the multi- to
+  /// one-dimensional transformation over the live set. Learned boundaries
+  /// reset; subsequent queries re-crack.
   void Initialize() {
-    const Dataset<D>& data = *data_;
-    codes_.resize(data.size());
-    ids_.resize(data.size());
+    const ObjectStore<D>& store = this->store_;
+    codes_.clear();
+    ids_.clear();
+    codes_.reserve(store.live_count());
+    ids_.reserve(store.live_count());
     half_extent_ = Point<D>{};
-    data_bounds_ = Box<D>::Empty();
-    for (ObjectId i = 0; i < data.size(); ++i) {
-      codes_[i] = grid_.CodeOf(data[i].Center());
-      ids_[i] = i;
-      data_bounds_.ExpandToInclude(data[i]);
+    store.ForEachLive([this](ObjectId id, const Box<D>& b) {
+      codes_.push_back(grid_.CodeOf(b.Center()));
+      ids_.push_back(id);
       for (int d = 0; d < D; ++d) {
-        half_extent_[d] = std::max(half_extent_[d], data[i].Extent(d) / 2);
+        half_extent_[d] = std::max(half_extent_[d], b.Extent(d) / 2);
       }
-    }
+    });
+    boundaries_.clear();
+    overflow_.Reset(store.slots());
     initialized_ = true;
   }
 
@@ -165,7 +193,6 @@ class SfcrackerIndex final : public SpatialIndex<D> {
     return pos;
   }
 
-  const Dataset<D>* data_;
   zorder::ZGrid<D> grid_;
   Params params_;
   bool initialized_ = false;
@@ -174,11 +201,12 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   std::vector<zorder::ZCode> codes_;
   std::vector<ObjectId> ids_;
   Point<D> half_extent_{};
-  /// MBB of the dataset — the expanding-ring kNN termination bound.
-  Box<D> data_bounds_;
   /// Cracker index: boundary value -> array position (AVL tree in [18]).
   std::map<zorder::ZCode, std::size_t> boundaries_;
   std::vector<zorder::ZInterval> intervals_;
+  /// Shared mutation-overflow state (pending inserts + cracked-id
+  /// tombstones).
+  MutationOverflow<D> overflow_;
 };
 
 }  // namespace quasii

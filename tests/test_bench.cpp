@@ -159,12 +159,14 @@ void TestReportIsValidJson() {
   CHECK(report.find("\"Scan\"") != std::string::npos);
   CHECK_EQ(CountOccurrences(report, "\"latencies_ms\":"), 7u);
   CHECK_EQ(CountOccurrences(report, "\"cumulative_stats\":"), 7u);
-  // The per-type breakdown: one object per index, all four type sections.
+  // The per-type breakdown: one object per index, all six op-type sections.
   CHECK_EQ(CountOccurrences(report, "\"per_type\":"), 7u);
   CHECK_EQ(CountOccurrences(report, "\"range\":"), 7u + 1u);  // + config mix
   CHECK_EQ(CountOccurrences(report, "\"point\":"), 7u + 1u);
   CHECK_EQ(CountOccurrences(report, "\"count\":"), 7u + 1u);
   CHECK_EQ(CountOccurrences(report, "\"knn\":"), 7u + 1u);
+  CHECK_EQ(CountOccurrences(report, "\"insert\":"), 7u + 1u);
+  CHECK_EQ(CountOccurrences(report, "\"erase\":"), 7u + 1u);
 }
 
 void TestIndexFilterAndWorkloads() {
@@ -185,7 +187,7 @@ void TestIndexFilterAndWorkloads() {
 }
 
 /// All `result_objects` values of a report, in emission order: per index
-/// one total followed by the four per-type sections' values.
+/// one total followed by the six per-op-type sections' values.
 std::vector<std::string> ExtractResultObjects(const std::string& report) {
   std::vector<std::string> values;
   std::size_t pos = 0;
@@ -208,8 +210,8 @@ std::vector<std::string> ExtractResultObjects(const std::string& report) {
 /// the bench-level restatement of the equivalence suite.
 void CheckResultCountsAgree(const std::string& report, std::size_t indexes) {
   const std::vector<std::string> values = ExtractResultObjects(report);
-  // Per index: one total + one value per type section.
-  const std::size_t per_index = 1 + quasii::bench::kNumQueryTypes;
+  // Per index: one total + one value per op-type section.
+  const std::size_t per_index = 1 + quasii::bench::kNumOpTypes;
   CHECK_EQ(values.size(), indexes * per_index);
   for (std::size_t i = 0; i < values.size(); ++i) {
     CHECK_EQ(values[i], values[i % per_index]);
@@ -241,6 +243,26 @@ void TestMixedWorkloadReport() {
   // deterministic interleave exercises every type (non-zero query counts
   // would all be "\"queries\":0" otherwise).
   CHECK(report.find("\"mix\":{\"range\":0.7") != std::string::npos);
+  // Only the write sections idle under a read-only mix: exactly the
+  // insert + erase section of each of the 7 indexes reports zero ops.
+  CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 2u * 7u);
+}
+
+/// A read/write mix interleaves mutations with the queries; the report must
+/// stay valid, every op type must run, and acceptance/result counts must
+/// agree across the roster — the bench-level restatement of the dynamic
+/// equivalence suite.
+void TestReadWriteWorkloadReport() {
+  BenchConfig config;
+  config.n = 3000;
+  config.queries = 60;
+  config.mix = quasii::bench::DefaultReadWriteMix();
+  config.knn_k = 5;
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  CheckResultCountsAgree(report, 7);
+  CHECK(report.find("\"insert\":0.15") != std::string::npos);
+  // At this size the deterministic interleave exercises every op type.
   CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 0u);
 }
 
@@ -253,9 +275,15 @@ void TestParseWorkloadMix() {
   CHECK_EQ(mix.knn, 0.05);
   CHECK(!mix.IsPureRange());
 
+  CHECK(ParseWorkloadMix("range:0.6,insert:0.3,erase:0.1", &mix));
+  CHECK_EQ(mix.insert, 0.3);
+  CHECK_EQ(mix.erase, 0.1);
+  CHECK(!mix.IsReadOnly());
+
   CHECK(ParseWorkloadMix("point:1", &mix));
   CHECK_EQ(mix.range, 0.0);
   CHECK_EQ(mix.point, 1.0);
+  CHECK(mix.IsReadOnly());
 
   // Unknown types, malformed pairs, non-numeric or trailing-garbage
   // weights, and all-zero mixes are rejected (and must not clobber the
@@ -314,6 +342,7 @@ int main() {
   RUN_TEST(TestIndexFilterAndWorkloads);
   RUN_TEST(TestRosterResultCountsAgree);
   RUN_TEST(TestMixedWorkloadReport);
+  RUN_TEST(TestReadWriteWorkloadReport);
   RUN_TEST(TestParseWorkloadMix);
   RUN_TEST(TestBenchInputsEmitNoEmptyQueries);
   return 0;

@@ -267,6 +267,117 @@ void TestSoaQuasiiEquivalence() {
   }
 }
 
+/// Append / EraseId / pending-tail bookkeeping, and the id → row map's
+/// integrity under cracks that shuffle live and dead rows together.
+void TestAppendEraseAndPendingTail() {
+  Rng rng(31);
+  const Box3 universe = TestUniverse();
+  const Dataset3 data =
+      quasii::datagen::MakeRandomBoxes<3>(2000, universe, 9.0f, &rng);
+  CrackArray<3> a(data);
+  CHECK_EQ(a.pending_count(), 0u);
+  CHECK_EQ(a.tombstones(), 0u);
+
+  // Appends land behind the pending marker; sealing absorbs them.
+  Dataset3 extra =
+      quasii::datagen::MakeRandomBoxes<3>(500, universe, 9.0f, &rng);
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    a.Append(static_cast<ObjectId>(5000 + i), extra[i]);
+  }
+  CHECK_EQ(a.pending_count(), 500u);
+  CHECK_EQ(a.size(), 2500u);
+  CHECK(a.box(2000) == extra[0]);
+  a.SealPending();
+  CHECK_EQ(a.pending_count(), 0u);
+
+  // Erases tombstone in place, O(1) by id, and reject dead/unknown ids.
+  CHECK(a.EraseId(7));
+  CHECK(!a.EraseId(7));
+  CHECK(a.EraseId(5003));
+  CHECK(!a.EraseId(99999));
+  CHECK_EQ(a.tombstones(), 2u);
+  CHECK_EQ(a.size(), 2500u);  // rows keep their positions
+
+  // Cracks co-permute the live column and keep the id map accurate: every
+  // live id must still be erasable afterwards, dead ones must stay dead.
+  for (int step = 0; step < 50; ++step) {
+    const int d = static_cast<int>(rng.UniformInt(0, 2));
+    const Scalar v = rng.UniformScalar(universe.lo[d], universe.hi[d]);
+    a.CrackOnAxis(0, a.size(), d, v);
+  }
+  CHECK(!a.EraseId(7));
+  CHECK(a.EraseId(8));
+  CHECK(a.EraseId(5004));
+  CHECK_EQ(a.tombstones(), 4u);
+
+  // Re-append an erased id: a fresh live row; the corpse stays dead even
+  // when later cracks move it around.
+  a.Append(7, extra[1]);
+  for (int step = 0; step < 20; ++step) {
+    const int d = static_cast<int>(rng.UniformInt(0, 2));
+    const Scalar v = rng.UniformScalar(universe.lo[d], universe.hi[d]);
+    a.CrackOnAxis(0, a.pending_begin(), d, v);
+  }
+  CHECK(a.EraseId(7));  // erases the fresh row, not the corpse
+  CHECK(!a.EraseId(7));
+}
+
+/// StreamScan must skip tombstones on every path: masked scans, covered
+/// dimensions, and count-only execution.
+void TestStreamScanSkipsTombstones() {
+  Rng rng(37);
+  const Box3 universe = TestUniverse();
+  const Dataset3 data =
+      quasii::datagen::MakeRandomBoxes<3>(4000, universe, 9.0f, &rng);
+  CrackArray<3> a(data);
+
+  const Box3 q = universe;  // full coverage: every live row matches
+  const auto scan_ids = [&](unsigned covered) {
+    std::vector<ObjectId> ids;
+    quasii::VectorSink sink(&ids);
+    quasii::MatchEmitter emit(false, &sink);
+    a.StreamScan(0, a.size(), q, quasii::RangePredicate::kIntersects,
+                 covered, &emit);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const auto scan_count = [&](unsigned covered) {
+    quasii::CountSink sink;
+    quasii::MatchEmitter emit(true, &sink);
+    a.StreamScan(0, a.size(), q, quasii::RangePredicate::kIntersects,
+                 covered, &emit);
+    emit.Flush();
+    return sink.count();
+  };
+
+  CHECK_EQ(scan_ids(0).size(), 4000u);
+  CHECK_EQ(scan_count(7u), 4000u);
+
+  for (ObjectId id = 100; id < 150; ++id) CHECK(a.EraseId(id));
+  const std::vector<ObjectId> ids = scan_ids(0);
+  CHECK_EQ(ids.size(), 3950u);
+  for (const ObjectId id : ids) {
+    CHECK(id < 100 || id >= 150);
+  }
+  // The fully-covered bulk path must also honor tombstones...
+  CHECK_EQ(scan_ids(7u).size(), 3950u);
+  // ...as must count-only execution, which never reads the id column.
+  CHECK_EQ(scan_count(7u), 3950u);
+
+  // PartitionLiveFirst sweeps the dead rows to the back of the range, and
+  // scanning just the live prefix afterwards yields the same result set.
+  const std::size_t live_end = a.PartitionLiveFirst(0, a.size());
+  CHECK_EQ(live_end, 3950u);
+  for (std::size_t i = 0; i < live_end; ++i) CHECK(a.live(i));
+  for (std::size_t i = live_end; i < a.size(); ++i) CHECK(!a.live(i));
+  std::vector<ObjectId> prefix_ids;
+  quasii::VectorSink prefix_sink(&prefix_ids);
+  quasii::MatchEmitter emit(false, &prefix_sink);
+  a.StreamScan(0, live_end, q, quasii::RangePredicate::kIntersects, 0, &emit);
+  std::sort(prefix_ids.begin(), prefix_ids.end());
+  CHECK(prefix_ids == ids);
+}
+
 }  // namespace
 
 int main() {
@@ -275,5 +386,7 @@ int main() {
   RUN_TEST(TestMedianSplitBalanceAndBounds);
   RUN_TEST(TestDuplicateHeavyFrozenPath);
   RUN_TEST(TestSoaQuasiiEquivalence);
+  RUN_TEST(TestAppendEraseAndPendingTail);
+  RUN_TEST(TestStreamScanSkipsTombstones);
   return 0;
 }

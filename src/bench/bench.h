@@ -11,6 +11,7 @@
 #include "bench/json.h"
 #include "bench/workload.h"
 #include "common/dataset.h"
+#include "common/executor.h"
 #include "common/query.h"
 #include "common/spatial_index.h"
 #include "common/timer.h"
@@ -45,6 +46,10 @@ struct BenchConfig {
   /// setting) plus the kNN parameter.
   WorkloadMix mix;
   std::size_t knn_k = 10;
+  /// Concurrent driver threads. 1 = the classic sequential measurement;
+  /// N > 1 splits the workload into N deterministic per-thread op streams
+  /// (disjoint id spaces) executed at once on a `ThreadPool`.
+  int threads = 1;
 };
 
 /// The full evaluation roster over one dataset (Section 6.1 list).
@@ -77,8 +82,25 @@ struct TypeBreakdown {
   QueryStats stats;
 };
 
+/// One thread's share of a concurrent run: its op stream's latencies and
+/// per-type breakdown. The per-type `stats` stay zero here — work counters
+/// are shared across threads mid-run, so per-op deltas are not attributable;
+/// only the run-wide cumulative stats are reported.
+struct ThreadRun {
+  int thread = 0;
+  double total_ms = 0;
+  std::vector<double> latencies_ms;
+  std::uint64_t result_objects = 0;
+  std::array<TypeBreakdown, kNumOpTypes> per_type{};
+};
+
 /// Per-index measurement: build time, per-op latencies, cumulative stats,
 /// and the per-op-type breakdown (the four query types plus insert/erase).
+/// Threaded runs add the batch wall clock and one section per thread;
+/// `latencies_ms` then concatenates the streams in thread order and
+/// `total_query_ms` sums the client-observed per-op latencies across
+/// threads — scheduling delay included, so it exceeds `wall_ms` under
+/// contention; `wall_ms` is the throughput denominator.
 struct IndexRun {
   std::string name;
   double build_ms = 0;
@@ -87,6 +109,9 @@ struct IndexRun {
   std::uint64_t result_objects = 0;
   QueryStats cumulative;
   std::array<TypeBreakdown, kNumOpTypes> per_type;
+  int threads = 1;
+  double wall_ms = 0;
+  std::vector<ThreadRun> per_thread;
 };
 
 inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
@@ -154,62 +179,80 @@ struct TimedExec {
   std::uint64_t results = 0;
 };
 
-/// Executes one typed query against `index` with the sink its type calls
-/// for, times it, and accumulates latency, result count, and the stats
-/// delta into the query's `per_type` section — the one measurement
-/// primitive both the bench driver and the microbench loop share.
-inline TimedExec RunTimedQuery(
-    SpatialIndex<3>* index, const Query3& q, RunSinks* sinks,
-    std::array<TypeBreakdown, kNumOpTypes>* per_type) {
-  const QueryStats before = index->stats();
+/// Executes one operation — query (with the sink its type calls for) or
+/// mutation — and times it. No stats accounting: safe to call from
+/// concurrent threads, where work counters are shared and per-op deltas are
+/// not attributable. For mutations `results` is 1 when the operation was
+/// accepted.
+inline TimedExec ExecTimedOp(SpatialIndex<3>* index, const Op3& op,
+                             RunSinks* sinks) {
   TimedExec exec;
-  if (q.type == QueryType::kCount) {
-    sinks->count_sink.Reset();
-    Timer t;
-    index->Execute(q, sinks->count_sink);
-    exec.ms = t.Millis();
-    exec.results = sinks->count_sink.count();
-  } else {
-    sinks->result.clear();
-    Timer t;
-    index->Execute(q, sinks->vector_sink);
-    exec.ms = t.Millis();
-    exec.results = sinks->result.size();
-  }
-  TypeBreakdown& agg =
-      (*per_type)[static_cast<std::size_t>(TypeIndexOf(q))];
-  ++agg.queries;
-  agg.total_ms += exec.ms;
-  agg.result_objects += exec.results;
-  agg.stats += index->stats() - before;
-  return exec;
-}
-
-/// Executes one operation — query or mutation — timing it into its
-/// per-op-type section. For mutations `results` is 1 when the operation was
-/// accepted (the store semantics are index-independent, so acceptance
-/// patterns must agree across the roster like query results do).
-inline TimedExec RunTimedOp(SpatialIndex<3>* index, const Op3& op,
-                            RunSinks* sinks,
-                            std::array<TypeBreakdown, kNumOpTypes>* per_type) {
   if (op.kind == OpKind::kQuery) {
-    return RunTimedQuery(index, op.query, sinks, per_type);
+    const Query3& q = op.query;
+    if (q.type == QueryType::kCount) {
+      sinks->count_sink.Reset();
+      Timer t;
+      index->Execute(q, sinks->count_sink);
+      exec.ms = t.Millis();
+      exec.results = sinks->count_sink.count();
+    } else {
+      sinks->result.clear();
+      Timer t;
+      index->Execute(q, sinks->vector_sink);
+      exec.ms = t.Millis();
+      exec.results = sinks->result.size();
+    }
+    return exec;
   }
-  const QueryStats before = index->stats();
-  TimedExec exec;
   Timer t;
   const bool accepted = op.kind == OpKind::kInsert
                             ? index->Insert(op.id, op.box)
                             : index->Erase(op.id);
   exec.ms = t.Millis();
   exec.results = accepted ? 1 : 0;
+  return exec;
+}
+
+/// Folds one executed op into its per-op-type section (latency, op count,
+/// result/acceptance count — not stats).
+inline void AccumulateOp(const Op3& op, const TimedExec& exec,
+                         std::array<TypeBreakdown, kNumOpTypes>* per_type) {
   TypeBreakdown& agg =
       (*per_type)[static_cast<std::size_t>(OpTypeIndexOf(op))];
   ++agg.queries;
   agg.total_ms += exec.ms;
   agg.result_objects += exec.results;
-  agg.stats += index->stats() - before;
+}
+
+/// Executes one operation — query or mutation — timing it into its
+/// per-op-type section including the stats delta (sequential measurement
+/// loops only: reading `index->stats()` around an op is only meaningful
+/// when no other thread is working). For mutations `results` is 1 when the
+/// operation was accepted (the store semantics are index-independent, so
+/// acceptance patterns must agree across the roster like query results do).
+inline TimedExec RunTimedOp(SpatialIndex<3>* index, const Op3& op,
+                            RunSinks* sinks,
+                            std::array<TypeBreakdown, kNumOpTypes>* per_type) {
+  // Sequential loop: all work lands in this thread's shard, so the delta
+  // comes from `thread_stats()` instead of folding every slot twice per op.
+  const QueryStats before = index->thread_stats();
+  const TimedExec exec = ExecTimedOp(index, op, sinks);
+  AccumulateOp(op, exec, per_type);
+  (*per_type)[static_cast<std::size_t>(OpTypeIndexOf(op))].stats +=
+      index->thread_stats() - before;
   return exec;
+}
+
+/// Executes one typed query against `index`, timing it into its per-type
+/// section — the sequential measurement primitive the microbench loop
+/// shares with `RunTimedOp`.
+inline TimedExec RunTimedQuery(
+    SpatialIndex<3>* index, const Query3& q, RunSinks* sinks,
+    std::array<TypeBreakdown, kNumOpTypes>* per_type) {
+  Op3 op;
+  op.kind = OpKind::kQuery;
+  op.query = q;
+  return RunTimedOp(index, op, sinks, per_type);
 }
 
 inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
@@ -227,6 +270,63 @@ inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
     run.latencies_ms.push_back(exec.ms);
     run.total_query_ms += exec.ms;
     run.result_objects += exec.results;
+  }
+  run.cumulative = index->stats();
+  return run;
+}
+
+/// Concurrent measurement: each per-thread op stream runs on its own pool
+/// worker against the shared index, with per-thread sinks and latency
+/// vectors. Per-op stats deltas are not recorded (counters are shared
+/// mid-run); the cumulative stats are read once after the pool drains. The
+/// aggregate view concatenates/sums the thread sections, and `wall_ms` is
+/// the whole batch's wall clock — the throughput denominator.
+inline IndexRun RunIndexThreaded(SpatialIndex<3>* index,
+                                 const std::vector<std::vector<Op3>>& streams) {
+  IndexRun run;
+  run.name = std::string(index->name());
+  run.threads = static_cast<int>(streams.size());
+  Timer build_timer;
+  index->Build();
+  run.build_ms = build_timer.Millis();
+  index->ResetStats();
+
+  run.per_thread.resize(streams.size());
+  ThreadPool pool(static_cast<int>(streams.size()));
+  Timer wall;
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    pool.Submit([index, &streams, &run, t] {
+      ThreadRun& section = run.per_thread[t];
+      section.thread = static_cast<int>(t);
+      const std::vector<Op3>& ops = streams[t];
+      section.latencies_ms.reserve(ops.size());
+      RunSinks sinks;
+      for (const Op3& op : ops) {
+        const TimedExec exec = ExecTimedOp(index, op, &sinks);
+        AccumulateOp(op, exec, &section.per_type);
+        section.latencies_ms.push_back(exec.ms);
+        section.total_ms += exec.ms;
+        section.result_objects += exec.results;
+      }
+    });
+  }
+  pool.Wait();
+  run.wall_ms = wall.Millis();
+
+  for (const ThreadRun& section : run.per_thread) {
+    run.latencies_ms.insert(run.latencies_ms.end(),
+                            section.latencies_ms.begin(),
+                            section.latencies_ms.end());
+    run.total_query_ms += section.total_ms;
+    run.result_objects += section.result_objects;
+    for (int ty = 0; ty < kNumOpTypes; ++ty) {
+      const TypeBreakdown& from =
+          section.per_type[static_cast<std::size_t>(ty)];
+      TypeBreakdown& to = run.per_type[static_cast<std::size_t>(ty)];
+      to.queries += from.queries;
+      to.total_ms += from.total_ms;
+      to.result_objects += from.result_objects;
+    }
   }
   run.cumulative = index->stats();
   return run;
@@ -276,27 +376,45 @@ inline void WriteMix(JsonWriter* w, const WorkloadMix& mix) {
 }
 
 /// Runs the configured experiment and returns the JSON report consumed by
-/// the BENCH_*.json comparison tooling.
+/// the BENCH_*.json comparison tooling (schema v4: `config.threads`, and —
+/// on threaded runs — per-result `wall_ms` + `per_thread` sections).
 inline std::string RunBenchmark(const BenchConfig& config) {
   Dataset3 data;
   Box3 universe;
   std::vector<Box3> boxes;
   MakeBenchInputs(config, &data, &universe, &boxes);
-  const std::vector<Op3> ops = MakeBenchOps(config, boxes, data.size());
+  const bool threaded = config.threads > 1;
+  std::vector<Op3> ops;
+  std::vector<std::vector<Op3>> streams;
+  std::size_t total_ops = 0;
+  if (threaded) {
+    WorkloadSpec spec;
+    spec.mix = config.mix;
+    spec.knn_k = config.knn_k;
+    spec.seed = config.seed + 2;
+    streams =
+        MakeThreadOpStreams(boxes, spec, data.size(), config.threads);
+    for (const auto& s : streams) total_ops += s.size();
+  } else {
+    ops = MakeBenchOps(config, boxes, data.size());
+    total_ops = ops.size();
+  }
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-bench-v3");
+  w.Key("schema").String("quasii-bench-v4");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);
   w.Key("n").Uint(data.size());
-  w.Key("queries").Uint(ops.size());
+  w.Key("queries").Uint(total_ops);
   w.Key("selectivity").Double(config.selectivity);
   w.Key("seed").Uint(config.seed);
   w.Key("mix");
   WriteMix(&w, config.mix);
   w.Key("knn_k").Uint(config.knn_k);
+  w.Key("threads").Uint(static_cast<std::uint64_t>(
+      threaded ? config.threads : 1));
   w.EndObject();
 
   w.Key("results").BeginArray();
@@ -307,7 +425,8 @@ inline std::string RunBenchmark(const BenchConfig& config) {
                   std::string(index->name())) == config.indexes.end()) {
       continue;
     }
-    const IndexRun run = RunIndex(index.get(), ops);
+    const IndexRun run = threaded ? RunIndexThreaded(index.get(), streams)
+                                  : RunIndex(index.get(), ops);
     w.BeginObject();
     w.Key("index").String(run.name);
     w.Key("build_ms").Double(run.build_ms);
@@ -317,6 +436,26 @@ inline std::string RunBenchmark(const BenchConfig& config) {
     WriteStats(&w, run.cumulative);
     w.Key("per_type");
     WriteTypeBreakdown(&w, run.per_type);
+    if (threaded) {
+      // Threaded runs: the batch wall clock (the throughput denominator —
+      // the per-op sum `total_query_ms` counts client-observed latencies,
+      // scheduling delay included) and one section per thread. Per-type
+      // stats inside them stay zero — see `ThreadRun`.
+      w.Key("wall_ms").Double(run.wall_ms);
+      w.Key("per_thread").BeginArray();
+      for (const ThreadRun& section : run.per_thread) {
+        w.BeginObject();
+        w.Key("thread").Uint(static_cast<std::uint64_t>(section.thread));
+        w.Key("ops").Uint(section.latencies_ms.size());
+        w.Key("total_ms").Double(section.total_ms);
+        w.Key("result_objects").Uint(section.result_objects);
+        w.Key("latencies_ms").BeginArray();
+        for (const double ms : section.latencies_ms) w.Double(ms);
+        w.EndArray();
+        w.EndObject();
+      }
+      w.EndArray();
+    }
     w.Key("latencies_ms").BeginArray();
     for (const double ms : run.latencies_ms) w.Double(ms);
     w.EndArray();

@@ -33,12 +33,16 @@ void PrintUsage() {
                "                    [--indexes=NAME,NAME,...] [--out=PATH]\n"
                "                    [--mix=range:W,point:W,count:W,knn:W,\n"
                "                           insert:W,erase:W]\n"
-               "                    [--knn-k=K]\n"
+               "                    [--knn-k=K] [--threads=N]\n"
                "--mix types the workload (weights are ratios; default pure\n"
                "range); point/kNN queries probe the footprint box centres.\n"
                "insert/erase weights turn it into a read/write stream:\n"
                "inserts add fresh objects derived from the footprint boxes,\n"
-               "erases remove uniform victims from the live id pool.\n");
+               "erases remove uniform victims from the live id pool.\n"
+               "--threads=N splits the workload into N deterministic\n"
+               "per-thread op streams (disjoint id spaces) executed\n"
+               "concurrently; the report gains wall_ms and per-thread\n"
+               "sections.\n");
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -85,6 +89,10 @@ bool ParseArg(const std::string& arg, BenchConfig* config,
     const long long k = std::strtoll(value.c_str(), nullptr, 10);
     if (k <= 0) return false;
     config->knn_k = static_cast<std::size_t>(k);
+  } else if (key == "threads") {
+    const long long t = std::strtoll(value.c_str(), nullptr, 10);
+    if (t <= 0 || t >= quasii::kStatsSlots) return false;
+    config->threads = static_cast<int>(t);
   } else if (key == "out") {
     *out_path = value;
   } else {

@@ -34,7 +34,9 @@ void PrintUsage() {
                "          convergence under heterogeneous query types; the\n"
                "          readwrite workload (55/15/5/5 queries + 15%%\n"
                "          insert, 5%% erase) probes incremental maintenance\n"
-               "          under a shifting population.\n");
+               "          under a shifting population. Uniform-workload\n"
+               "          QUASII results carry a scaling block: converged\n"
+               "          read-only throughput at 1/2/4/8 pool threads.\n");
 }
 
 bool ParseArg(const std::string& arg, MicrobenchOptions* options,

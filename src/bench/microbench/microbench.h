@@ -12,6 +12,7 @@
 #include "bench/json.h"
 #include "bench/workload.h"
 #include "common/dataset.h"
+#include "common/executor.h"
 #include "common/query.h"
 #include "common/spatial_index.h"
 #include "common/timer.h"
@@ -32,10 +33,14 @@ namespace quasii::bench {
 /// heterogeneous workloads — the paper's §7 open question — and the
 /// "readwrite" workload interleaves inserts and erases with the queries
 /// (55/15/5/5/15/5), measuring incremental maintenance under a shifting
-/// population. Schema v3 adds the insert/erase per-op-type sections and a
+/// population. Schema v3 added the insert/erase per-op-type sections and a
 /// `post_workload` verification block (every range query of the stream
 /// re-run after the mutations, with an order-sensitive checksum that must
-/// agree across the roster).
+/// agree across the roster). Schema v4 adds the `scaling` block on the
+/// uniform-workload QUASII results: aggregate query throughput of the
+/// *converged* index at 1/2/4/8 pool threads (the whole query stream,
+/// repeated to a measurable batch size, through `BatchExecutor`), the
+/// measurement behind the multi-threaded execution layer's acceptance bar.
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
@@ -65,6 +70,58 @@ struct PostWorkload {
   std::uint64_t result_objects = 0;
   std::uint64_t checksum = 0;
 };
+
+/// One point of the converged-throughput scaling curve.
+struct ScalingPoint {
+  int threads = 0;
+  int rounds = 0;
+  std::uint64_t queries = 0;  // total executed: stream queries × rounds
+  double wall_ms = 0;
+  double queries_per_s = 0;
+};
+
+/// Measures aggregate query throughput of the (already converged) index at
+/// 1/2/4/8 pool threads: the read-only query stream, repeated to a
+/// measurable batch size, dispatched through `BatchExecutor` — so converged
+/// QUASII executions take the shared-lock path and scale with threads.
+/// Wall-clock only; the index's reported work counters were captured before
+/// this runs. Speedups are only meaningful on machines with that many
+/// hardware threads (the report records throughput, not a verdict).
+inline std::vector<ScalingPoint> MeasureScaling(SpatialIndex<3>* index,
+                                                const std::vector<Op3>& ops) {
+  std::vector<Query3> queries;
+  queries.reserve(ops.size());
+  for (const Op3& op : ops) {
+    if (op.kind == OpKind::kQuery) queries.push_back(op.query);
+  }
+  std::vector<ScalingPoint> points;
+  if (queries.empty()) return points;
+  // Repeat the stream so each measurement is a sizeable batch: short runs
+  // would time pool wake-up, not query execution — and the CI scaling
+  // check gates on the 8-vs-1-thread ratio, so the window must be long
+  // enough for runner noise to average out.
+  constexpr std::size_t kTargetQueries = 32768;
+  const int rounds = static_cast<int>(
+      std::max<std::size_t>(1, kTargetQueries / queries.size()));
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    BatchExecutor<3> executor(&pool);
+    Timer wall;
+    for (int r = 0; r < rounds; ++r) {
+      executor.Run(index, std::span<const Query3>(queries));
+    }
+    ScalingPoint p;
+    p.threads = threads;
+    p.rounds = rounds;
+    p.queries = queries.size() * static_cast<std::size_t>(rounds);
+    p.wall_ms = wall.Millis();
+    p.queries_per_s = p.wall_ms > 0
+                          ? static_cast<double>(p.queries) * 1000.0 / p.wall_ms
+                          : 0;
+    points.push_back(p);
+  }
+  return points;
+}
 
 /// Per-index microbench measurement (a superset of `IndexRun`'s fields,
 /// shaped for convergence analysis instead of raw latency dumps).
@@ -169,7 +226,8 @@ inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
   return run;
 }
 
-inline void WriteMicroRun(JsonWriter* w, const MicroRun& run) {
+inline void WriteMicroRun(JsonWriter* w, const MicroRun& run,
+                          const std::vector<ScalingPoint>* scaling = nullptr) {
   w->BeginObject();
   w->Key("index").String(run.name);
   w->Key("build_ms").Double(run.build_ms);
@@ -196,6 +254,21 @@ inline void WriteMicroRun(JsonWriter* w, const MicroRun& run) {
     w->EndObject();
   }
   w->EndArray();
+  if (scaling != nullptr && !scaling->empty()) {
+    const double base_qps = scaling->front().queries_per_s;
+    w->Key("scaling").BeginArray();
+    for (const ScalingPoint& p : *scaling) {
+      w->BeginObject();
+      w->Key("threads").Uint(static_cast<std::uint64_t>(p.threads));
+      w->Key("rounds").Uint(static_cast<std::uint64_t>(p.rounds));
+      w->Key("queries").Uint(p.queries);
+      w->Key("wall_ms").Double(p.wall_ms);
+      w->Key("queries_per_s").Double(p.queries_per_s);
+      w->Key("speedup").Double(base_qps > 0 ? p.queries_per_s / base_qps : 0);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
   w->EndObject();
 }
 
@@ -206,7 +279,7 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v3");
+  w.Key("schema").String("quasii-microbench-v4");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
@@ -252,7 +325,14 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
       auto roster = MakeMicrobenchRoster(data, universe);
       for (const auto& index : roster) {
         const MicroRun run = RunMicro(index.get(), ops);
-        WriteMicroRun(&w, run);
+        // The scaling curve rides on the uniform (read-only, pure-range)
+        // configs' QUASII result: the workload has fully converged the
+        // index by now, so this measures the shared-lock read path.
+        std::vector<ScalingPoint> scaling;
+        if (workload == "uniform" && index->name() == "QUASII") {
+          scaling = MeasureScaling(index.get(), ops);
+        }
+        WriteMicroRun(&w, run, scaling.empty() ? nullptr : &scaling);
       }
       w.EndArray();
       w.EndObject();

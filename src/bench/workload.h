@@ -167,35 +167,33 @@ Box<D> MakeInsertBox(const Box<D>& footprint, Rng* rng) {
   return out;
 }
 
-/// Types a box workload into an operation stream: each footprint box
-/// becomes one op, its type drawn from the mix — deterministic interleaving
-/// from the shared `Rng`, so a (boxes, spec, initial_n) triple always
-/// produces the same stream. Point and kNN queries probe the box centre, so
-/// every type exercises the same spatial region and per-type results stay
-/// comparable. Inserts allocate fresh ids starting at `initial_n` with an
-/// object derived from the footprint; erases pick a uniform victim from the
-/// currently live id pool (seeded with `0 .. initial_n-1`), so the stream
-/// is valid against any index loaded with the same initial dataset. A
-/// zero-weight type is never emitted; an erase drawn against an empty pool
-/// degrades to a range query.
+/// The core stream typer behind `MakeOpWorkload` and `MakeThreadOpStreams`:
+/// types the footprint boxes `[begin, end)` into one op stream, drawing the
+/// type interleave and insert geometry from `rng`. Fresh insert ids are
+/// allocated from `next_id` upward; erase victims come from the id pool
+/// seeded with `[pool_begin, pool_end)` (plus this stream's own inserts), so
+/// callers can hand concurrent streams disjoint id spaces. A zero-weight
+/// type is never emitted; an erase drawn against an empty pool degrades to
+/// a range query.
 template <int D>
-std::vector<Op<D>> MakeOpWorkload(const std::vector<Box<D>>& boxes,
-                                  const WorkloadSpec& spec,
-                                  std::size_t initial_n) {
-  Rng rng(spec.seed);
+std::vector<Op<D>> MakeOpStream(const std::vector<Box<D>>& boxes,
+                                std::size_t begin, std::size_t end,
+                                const WorkloadSpec& spec, Rng rng,
+                                ObjectId next_id, ObjectId pool_begin,
+                                ObjectId pool_end) {
   const double weights[kNumOpTypes] = {spec.mix.range,  spec.mix.point,
                                        spec.mix.count,  spec.mix.knn,
                                        spec.mix.insert, spec.mix.erase};
   const double total = spec.mix.Total();
   std::vector<ObjectId> pool;
-  ObjectId next_id = static_cast<ObjectId>(initial_n);
   if (!spec.mix.IsReadOnly()) {
-    pool.resize(initial_n);
-    std::iota(pool.begin(), pool.end(), ObjectId{0});
+    pool.resize(pool_end - pool_begin);
+    std::iota(pool.begin(), pool.end(), pool_begin);
   }
   std::vector<Op<D>> ops;
-  ops.reserve(boxes.size());
-  for (const Box<D>& b : boxes) {
+  ops.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const Box<D>& b = boxes[i];
     // Roulette-wheel draw over the positive weights. The fallback for
     // floating-point drift past the last cumulative threshold is the last
     // *positive* type, so a type with weight 0 can never be emitted.
@@ -248,6 +246,59 @@ std::vector<Op<D>> MakeOpWorkload(const std::vector<Box<D>>& boxes,
     ops.push_back(op);
   }
   return ops;
+}
+
+/// Types a box workload into an operation stream: each footprint box
+/// becomes one op, its type drawn from the mix — deterministic interleaving
+/// from the shared `Rng`, so a (boxes, spec, initial_n) triple always
+/// produces the same stream. Point and kNN queries probe the box centre, so
+/// every type exercises the same spatial region and per-type results stay
+/// comparable. Inserts allocate fresh ids starting at `initial_n` with an
+/// object derived from the footprint; erases pick a uniform victim from the
+/// currently live id pool (seeded with `0 .. initial_n-1`), so the stream
+/// is valid against any index loaded with the same initial dataset.
+template <int D>
+std::vector<Op<D>> MakeOpWorkload(const std::vector<Box<D>>& boxes,
+                                  const WorkloadSpec& spec,
+                                  std::size_t initial_n) {
+  return MakeOpStream(boxes, 0, boxes.size(), spec, Rng(spec.seed),
+                      /*next_id=*/static_cast<ObjectId>(initial_n),
+                      /*pool_begin=*/ObjectId{0},
+                      /*pool_end=*/static_cast<ObjectId>(initial_n));
+}
+
+/// Splits a box workload into `threads` deterministic, independent op
+/// streams for concurrent execution: stream `t` types a contiguous chunk of
+/// the footprint boxes with its own `Rng::Split(t)` child stream, allocates
+/// fresh insert ids from a disjoint id space (`initial_n + t * boxes`), and
+/// draws erase victims from a disjoint slice of the initial id pool — so no
+/// two streams ever name the same id and the set of *accepted* mutations is
+/// schedule-independent (each stream's ops would be accepted even run
+/// alone). Query results still depend on how mutations interleave with
+/// queries across threads; with a read-only mix the whole run is
+/// deterministic.
+template <int D>
+std::vector<std::vector<Op<D>>> MakeThreadOpStreams(
+    const std::vector<Box<D>>& boxes, const WorkloadSpec& spec,
+    std::size_t initial_n, int threads) {
+  const std::size_t n_threads =
+      static_cast<std::size_t>(threads > 0 ? threads : 1);
+  const Rng base(spec.seed);
+  std::vector<std::vector<Op<D>>> streams;
+  streams.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    const std::size_t begin = boxes.size() * t / n_threads;
+    const std::size_t end = boxes.size() * (t + 1) / n_threads;
+    const ObjectId pool_begin =
+        static_cast<ObjectId>(initial_n * t / n_threads);
+    const ObjectId pool_end =
+        static_cast<ObjectId>(initial_n * (t + 1) / n_threads);
+    const ObjectId next_id =
+        static_cast<ObjectId>(initial_n + t * boxes.size());
+    streams.push_back(MakeOpStream(boxes, begin, end, spec, base.Split(t),
+                                   next_id, pool_begin, pool_end));
+  }
+  return streams;
 }
 
 /// Read-only view of `MakeOpWorkload`: types a box workload into queries

@@ -253,9 +253,19 @@ class CrackArray {
   /// the array costs this range nothing), the candidate mask is seeded from
   /// the live column (one more branchless AND) instead of all-ones, and the
   /// full-coverage bulk path is bypassed.
+  ///
+  /// Safe to call concurrently (it reads the columns and writes only
+  /// thread-local scratch and the emitter) as long as no thread is
+  /// reorganizing the array — the converged read path of QUASII's
+  /// concurrency contract.
   void StreamScan(std::size_t begin, std::size_t end, const Box<D>& q,
                   RangePredicate predicate, unsigned covered_dims,
-                  MatchEmitter* emit) {
+                  MatchEmitter* emit) const {
+    // Per-thread scratch (mask + compressed survivor ids): concurrent scans
+    // of one array — or of several — never share it, and repeated scans on
+    // one thread never reallocate.
+    static thread_local std::vector<std::uint8_t> scan_mask;
+    static thread_local std::vector<ObjectId> scan_ids;
     const std::size_t len = end - begin;
     if (len == 0) return;
     if (predicate != RangePredicate::kIntersects) covered_dims = 0;
@@ -269,13 +279,13 @@ class CrackArray {
       return;
     }
     if (!range_has_dead) {
-      scan_mask_.assign(len, 1);
+      scan_mask.assign(len, 1);
     } else {
-      scan_mask_.assign(
+      scan_mask.assign(
           live_.begin() + static_cast<std::ptrdiff_t>(begin),
           live_.begin() + static_cast<std::ptrdiff_t>(end));
     }
-    std::uint8_t* mask = scan_mask_.data();
+    std::uint8_t* mask = scan_mask.data();
     for (int d = 0; d < D; ++d) {
       if (covered_dims & (1u << d)) continue;
       const Scalar qlo = q.lo[d];
@@ -309,9 +319,9 @@ class CrackArray {
       emit->AddAnonymous(matches);
       return;
     }
-    scan_ids_.resize(len);
+    scan_ids.resize(len);
     const ObjectId* ids = ids_.data() + begin;
-    ObjectId* out = scan_ids_.data();
+    ObjectId* out = scan_ids.data();
     std::size_t m = 0;
     for (std::size_t i = 0; i < len; ++i) {
       out[m] = ids[i];
@@ -436,11 +446,9 @@ class CrackArray {
   std::size_t tombstones_ = 0;
   /// Rows `[pending_begin_, size())` are the unsorted appended tail.
   std::size_t pending_begin_ = 0;
-  /// Reused by `MedianSplit` so pivot selection never reallocates.
+  /// Reused by `MedianSplit` so pivot selection never reallocates (the
+  /// write path — always under the owner's exclusive lock).
   std::vector<Scalar> scratch_;
-  /// Reused by `StreamScan`: candidate mask and compressed survivor ids.
-  std::vector<std::uint8_t> scan_mask_;
-  std::vector<ObjectId> scan_ids_;
 };
 
 }  // namespace quasii

@@ -2,6 +2,7 @@
 #define QUASII_COMMON_OBJECT_STORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -29,17 +30,34 @@ namespace quasii {
 ///  - `box(id)` may only be called for ids that are (or were) stored;
 ///    `boxes()` exposes the full slot table for id-indexed lookups (kNN
 ///    drivers) — only live ids may be dereferenced through it.
+///
+/// Concurrency: every accessor is a plain read with no hidden cache fills
+/// (the live MBB is maintained eagerly by the mutations), so any number of
+/// threads may read concurrently as long as mutations are excluded — the
+/// locking discipline `SpatialIndex` enforces. `version()` is the mutation
+/// epoch: it ticks once per accepted `Insert`/`Erase` (atomically, so it may
+/// be polled without holding the index lock), letting a reader detect that
+/// the population changed between two looks at the store.
 template <int D>
 class ObjectStore {
  public:
   explicit ObjectStore(const std::vector<Box<D>>& data)
-      : view_(&data), live_count_(data.size()) {}
+      : view_(&data), live_count_(data.size()) {
+    bounds_ = Box<D>::Empty();
+    for (const Box<D>& b : data) bounds_.ExpandToInclude(b);
+  }
 
   /// Upper bound (exclusive) of ids ever stored.
   std::size_t slots() const { return view_ ? view_->size() : boxes_.size(); }
   std::size_t live_count() const { return live_count_; }
   /// True once any `Insert`/`Erase` succeeded (the store owns its boxes).
   bool mutated() const { return view_ == nullptr; }
+
+  /// Mutation epoch: incremented by every accepted `Insert`/`Erase`. Two
+  /// equal reads bracket a span with no population change.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   bool alive(ObjectId id) const {
     if (view_) return id < view_->size();
@@ -66,7 +84,8 @@ class ObjectStore {
     boxes_[id] = b;
     alive_[id] = 1;
     ++live_count_;
-    if (bounds_fresh_) bounds_.ExpandToInclude(b);
+    bounds_.ExpandToInclude(b);
+    version_.fetch_add(1, std::memory_order_release);
     return true;
   }
 
@@ -75,25 +94,24 @@ class ObjectStore {
     Materialize();
     alive_[id] = 0;
     --live_count_;
-    // The cached live MBB only shrinks when a boundary-touching box leaves.
-    if (bounds_fresh_ && !StrictlyInside(boxes_[id], bounds_)) {
-      bounds_fresh_ = false;
-    }
+    // The live MBB only shrinks when a boundary-touching box leaves; it is
+    // recomputed here, eagerly, so `bounds()` stays a plain read that any
+    // number of concurrent query threads may share. The trade: such an
+    // erase costs O(live). Interior erases (the common case — uniform
+    // victims rarely attain the hull) stay O(1), but data whose boxes all
+    // touch one bounding plane pays the recompute per erase; if such an
+    // erase-heavy workload ever matters, batch the shrink under the
+    // exclusive lock rather than reintroducing a lazily-filled cache the
+    // shared readers would race on.
+    if (!StrictlyInside(boxes_[id], bounds_)) RecomputeBounds();
+    version_.fetch_add(1, std::memory_order_release);
     return true;
   }
 
-  /// MBB of the live objects — the kNN termination bound. Cached; inserts
-  /// expand it in place, erases of boundary boxes trigger a lazy recompute.
-  const Box<D>& bounds() const {
-    if (!bounds_fresh_) {
-      bounds_ = Box<D>::Empty();
-      ForEachLive([this](ObjectId, const Box<D>& b) {
-        bounds_.ExpandToInclude(b);
-      });
-      bounds_fresh_ = true;
-    }
-    return bounds_;
-  }
+  /// MBB of the live objects — the kNN termination bound. Maintained
+  /// eagerly: inserts expand it in place, erases of boundary boxes
+  /// recompute it on the spot.
+  const Box<D>& bounds() const { return bounds_; }
 
   /// Invokes `fn(id, box)` for every live object, in ascending id order.
   template <typename Fn>
@@ -116,6 +134,13 @@ class ObjectStore {
     view_ = nullptr;
   }
 
+  void RecomputeBounds() {
+    bounds_ = Box<D>::Empty();
+    ForEachLive([this](ObjectId, const Box<D>& b) {
+      bounds_.ExpandToInclude(b);
+    });
+  }
+
   static bool StrictlyInside(const Box<D>& b, const Box<D>& outer) {
     for (int d = 0; d < D; ++d) {
       if (b.lo[d] <= outer.lo[d] || b.hi[d] >= outer.hi[d]) return false;
@@ -127,8 +152,8 @@ class ObjectStore {
   std::vector<Box<D>> boxes_;
   std::vector<std::uint8_t> alive_;
   std::size_t live_count_ = 0;
-  mutable Box<D> bounds_;
-  mutable bool bounds_fresh_ = false;
+  Box<D> bounds_;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace quasii

@@ -1,14 +1,16 @@
 #ifndef QUASII_COMMON_QUERY_STATS_H_
 #define QUASII_COMMON_QUERY_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 
 namespace quasii {
 
 /// Work counters accumulated while executing queries. Every index maintains
-/// one instance; the experiment harness snapshots it per query to reproduce
-/// the paper's "objects considered for intersection" analyses (Section 6.2).
+/// one instance per executing thread (see `ShardedQueryStats`); the
+/// experiment harness snapshots the merged view per query to reproduce the
+/// paper's "objects considered for intersection" analyses (Section 6.2).
 struct QueryStats {
   /// Boxes tested for intersection against the query (candidate objects).
   std::uint64_t objects_tested = 0;
@@ -53,6 +55,72 @@ inline std::ostream& operator<<(std::ostream& os, const QueryStats& s) {
             << " dedup=" << s.duplicates_removed
             << " intervals=" << s.intervals << '}';
 }
+
+/// Number of per-thread counter slots an index carries. Slot 0 belongs to
+/// unregistered threads (the main thread of a single-threaded run); the
+/// `ThreadPool` binds each worker to one of the remaining slots, so
+/// concurrency is bounded at `kStatsSlots - 1` pool workers.
+inline constexpr int kStatsSlots = 64;
+
+namespace internal {
+inline thread_local int tls_stats_slot = 0;
+}  // namespace internal
+
+/// The counter slot the calling thread writes to (0 unless bound).
+inline int CurrentStatsSlot() { return internal::tls_stats_slot; }
+
+/// Binds the calling thread to a stats slot for its lifetime. Every thread
+/// that executes queries concurrently with others MUST hold a distinct slot
+/// (the `ThreadPool` does this for its workers); two unbound threads would
+/// otherwise race on slot 0.
+class ScopedStatsSlot {
+ public:
+  explicit ScopedStatsSlot(int slot) : prev_(internal::tls_stats_slot) {
+    internal::tls_stats_slot = slot;
+  }
+  ~ScopedStatsSlot() { internal::tls_stats_slot = prev_; }
+  ScopedStatsSlot(const ScopedStatsSlot&) = delete;
+  ScopedStatsSlot& operator=(const ScopedStatsSlot&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// One cache line per slot: concurrent threads bump their own counters
+/// without invalidating each other's lines (the sharing would otherwise
+/// serialize the lock-free read paths right back).
+struct alignas(64) PaddedQueryStats {
+  QueryStats stats;
+};
+
+/// Mergeable per-thread work counters: execution paths write the calling
+/// thread's `Local()` slot with plain stores, and `Merged()` folds all slots
+/// into one total. Writes are unsynchronized by design — `Merged()`/`Reset()`
+/// are only meaningful while no query is in flight (the harness reads stats
+/// between phases, never mid-batch).
+class ShardedQueryStats {
+ public:
+  QueryStats& Local() {
+    return slots_[static_cast<std::size_t>(CurrentStatsSlot())].stats;
+  }
+
+  const QueryStats& Local() const {
+    return slots_[static_cast<std::size_t>(CurrentStatsSlot())].stats;
+  }
+
+  QueryStats Merged() const {
+    QueryStats total;
+    for (const PaddedQueryStats& slot : slots_) total += slot.stats;
+    return total;
+  }
+
+  void Reset() {
+    for (PaddedQueryStats& slot : slots_) slot.stats.Reset();
+  }
+
+ private:
+  std::array<PaddedQueryStats, kStatsSlots> slots_{};
+};
 
 }  // namespace quasii
 

@@ -15,7 +15,29 @@ namespace quasii {
 /// run-to-run (the paper's workloads are synthetic and regenerable as well).
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 42) : seed_(seed), engine_(seed) {}
+
+  /// The seed this stream was constructed with (not affected by draws).
+  std::uint64_t seed() const { return seed_; }
+
+  /// SplitMix64 finalizer [Steele et al., "Fast splittable PRNGs"]: a
+  /// bijective avalanche mix, so distinct inputs give well-separated seeds.
+  static std::uint64_t SplitMix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  /// Derives an independent child stream for `stream_id` — the per-thread
+  /// op streams of concurrent workloads. Split is a pure function of the
+  /// *construction* seed (draws on the parent don't shift it), so
+  /// `Rng(s).Split(t)` is stable however the parent has been used, and
+  /// distinct `(seed, stream_id)` pairs land on unrelated mt19937_64
+  /// seedings via a double SplitMix64 mix.
+  Rng Split(std::uint64_t stream_id) const {
+    return Rng(SplitMix64(seed_ ^ SplitMix64(stream_id)));
+  }
 
   /// Uniform double in `[lo, hi)`.
   double Uniform(double lo, double hi) {
@@ -46,6 +68,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -1,6 +1,10 @@
 #ifndef QUASII_COMMON_SPATIAL_INDEX_H_
 #define QUASII_COMMON_SPATIAL_INDEX_H_
 
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
@@ -40,6 +44,18 @@ using Entry3 = Entry<3>;
 ///      non-live ids, erase only live ones, reinsert-after-erase allowed)
 ///      and each index maintains its structure via `OnInsert`/`OnErase`.
 ///
+/// Concurrency contract: `Execute`, `Insert`, and `Erase` may be called
+/// from any number of threads at once (each concurrently executing thread
+/// must hold a distinct stats slot — the `ThreadPool` arranges this for its
+/// workers). A reader-writer lock in this base class arbitrates: mutations
+/// and reorganizing executions take the exclusive side; executions the
+/// index declares safe via `ConvergedFor(query)` run concurrently under the
+/// shared side. Static indexes are read-safe as soon as they are built;
+/// adaptive indexes (QUASII, SFCracker, Mosaic) serialize while the query
+/// would still crack/split and downgrade to shared mode once the touched
+/// region has converged. `Build()` and the stats accessors are NOT
+/// thread-safe — call them while no query is in flight.
+///
 /// `Execute` normalizes the query — empty boxes short-circuit (an inverted
 /// box matches nothing and must not trigger reorganization), a point query
 /// becomes the zero-extent closed range `[p, p]` — and dispatches to the two
@@ -55,22 +71,39 @@ class SpatialIndex {
   /// Human-readable name used by the experiment harness ("R-Tree", ...).
   virtual std::string_view name() const = 0;
 
-  /// One-off pre-processing. No-op for incremental indexes.
+  /// One-off pre-processing. No-op for incremental indexes. Not
+  /// thread-safe: call before queries start flowing.
   virtual void Build() {}
+
+  /// Whether executing `query` right now is guaranteed not to change any
+  /// index state (beyond the caller's own stats shard) — the predicate that
+  /// routes `Execute` to the shared (concurrent) side of the lock. Static
+  /// indexes answer true once built; adaptive indexes answer true when the
+  /// query's descent would touch only converged structure. Only meaningful
+  /// under at least the shared lock (i.e. from inside `Execute`) or while
+  /// no other thread is mutating; conservative `false` is always correct.
+  virtual bool ConvergedFor(const Query<D>& query) const {
+    (void)query;
+    return false;
+  }
 
   /// Adds object `id` with MBB `box`. Fails (returns false, no state
   /// change) when `id` is currently live or `box` is empty; an id erased
-  /// earlier may be re-inserted, with any box.
+  /// earlier may be re-inserted, with any box. Takes the exclusive side of
+  /// the index lock.
   bool Insert(ObjectId id, const Box<D>& box) {
     if (box.IsEmpty()) return false;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     if (!store_.Insert(id, box)) return false;
     OnInsert(id, box);
     return true;
   }
 
   /// Removes object `id`. Fails (returns false) when `id` is not live —
-  /// including ids that were never inserted.
+  /// including ids that were never inserted. Takes the exclusive side of
+  /// the index lock.
   bool Erase(ObjectId id) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     if (!store_.Erase(id)) return false;
     OnErase(id);
     return true;
@@ -80,28 +113,49 @@ class SpatialIndex {
   const ObjectStore<D>& store() const { return store_; }
 
   /// Typed query execution: the one entry point every query type funnels
-  /// through.
+  /// through. Thread-safe (see the class comment): tries the shared lock
+  /// first and falls back to exclusive when `ConvergedFor` declines.
   virtual void Execute(const quasii::Query<D>& query, Sink& sink) {
+    // Degenerate queries resolve to nothing without touching (or locking)
+    // any structure: an inverted box matches nothing and must not trigger
+    // reorganization.
     switch (query.type) {
       case QueryType::kRange:
-        if (query.box.IsEmpty()) return;
-        ExecuteBox(query.box, query.predicate, /*count_only=*/false, sink);
-        return;
-      case QueryType::kPoint: {
-        const Box<D> point_box(query.point, query.point);
-        ExecuteBox(point_box, RangePredicate::kIntersects,
-                   /*count_only=*/false, sink);
-        return;
-      }
       case QueryType::kCount:
         if (query.box.IsEmpty()) return;
-        ExecuteBox(query.box, query.predicate, /*count_only=*/true, sink);
-        return;
+        break;
       case QueryType::kKNearest:
         if (query.k == 0) return;
-        ExecuteKNearest(query.point, query.k, sink);
-        return;
+        break;
+      case QueryType::kPoint:
+        break;
     }
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      // Holding the shared lock excludes writers, so a true answer stays
+      // true for the whole dispatch.
+      if (ConvergedFor(query)) {
+#ifndef NDEBUG
+        // Drift detector: `ConvergedFor` replays each index's routing
+        // logic, so a future execution-path change that forgets to update
+        // its replay would reorganize under the shared lock — a data race
+        // TSan only catches on the right interleaving. Reorganization
+        // counters of this thread's shard must stay untouched by a
+        // shared-mode dispatch; Debug CI turns drift deterministic.
+        const std::uint64_t cracks_before = stats_.Local().cracks;
+        const std::uint64_t moved_before = stats_.Local().objects_moved;
+#endif
+        Dispatch(query, sink);
+#ifndef NDEBUG
+        assert(stats_.Local().cracks == cracks_before &&
+               stats_.Local().objects_moved == moved_before &&
+               "ConvergedFor approved a query that reorganized");
+#endif
+        return;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    Dispatch(query, sink);
   }
 
   /// Legacy single-shot API: appends to `*result` the ids of all objects
@@ -112,17 +166,23 @@ class SpatialIndex {
     Execute(RangeQuery<D>(q), sink);
   }
 
-  /// Cumulative work counters since construction.
-  const QueryStats& stats() const { return stats_; }
+  /// Cumulative work counters since construction, merged over every
+  /// thread's shard. Not thread-safe: read between batches, not mid-batch.
+  QueryStats stats() const { return stats_.Merged(); }
   void ResetStats() { stats_.Reset(); }
+
+  /// The calling thread's shard alone — the per-op delta source for
+  /// sequential measurement loops, where it equals the merged view's delta
+  /// without folding all `kStatsSlots` slots around every timed op.
+  const QueryStats& thread_stats() const { return stats_.Local(); }
 
  protected:
   explicit SpatialIndex(const std::vector<Box<D>>& data) : store_(data) {}
 
   /// Structure maintenance after a successful store insert/erase. Called
-  /// exactly once per accepted mutation, after the store reflects it (so
-  /// `store().box(id)` is the new box in `OnInsert`, and still the erased
-  /// object's box in `OnErase`).
+  /// exactly once per accepted mutation (under the exclusive lock), after
+  /// the store reflects it (so `store().box(id)` is the new box in
+  /// `OnInsert`, and still the erased object's box in `OnErase`).
   virtual void OnInsert(ObjectId id, const Box<D>& box) = 0;
   virtual void OnErase(ObjectId id) = 0;
 
@@ -130,6 +190,16 @@ class SpatialIndex {
   /// box. Implementations stream ids via `Emit`/`EmitRun` — or, when
   /// `count_only`, report anonymous totals via `AddMatches` and never touch
   /// ids.
+  ///
+  /// Traversal contract (shared by every index): the implementation builds
+  /// one `MatchEmitter` for the execution and threads a small per-call
+  /// context — the ORIGINAL query box for the exact predicate filter, the
+  /// predicate, the emitter, plus whatever the index's traversal needs
+  /// (e.g. a pre-extended probe box for centre-assigned structures) —
+  /// through its walk, then calls `Flush` exactly once at the end. The
+  /// context lives on the caller's stack, never in index members, so
+  /// concurrent shared-mode executions cannot interfere; per-index `BoxExec`
+  /// comments below document only their deltas from this contract.
   virtual void ExecuteBox(const Box<D>& q, RangePredicate predicate,
                           bool count_only, Sink& sink) = 0;
 
@@ -157,8 +227,40 @@ class SpatialIndex {
     DrainTopK(&topk, &sink);
   }
 
+  /// Work counters of the calling thread — the only stats view execution
+  /// paths may write. Each concurrent thread owns one shard; `stats()`
+  /// merges them.
+  QueryStats& Stats() { return stats_.Local(); }
+
   ObjectStore<D> store_;
-  QueryStats stats_;
+  ShardedQueryStats stats_;
+
+ private:
+  /// The locked body of `Execute`: type dispatch to the per-index
+  /// primitives. The caller holds the lock side `ConvergedFor` selected.
+  void Dispatch(const quasii::Query<D>& query, Sink& sink) {
+    switch (query.type) {
+      case QueryType::kRange:
+        ExecuteBox(query.box, query.predicate, /*count_only=*/false, sink);
+        return;
+      case QueryType::kPoint: {
+        const Box<D> point_box(query.point, query.point);
+        ExecuteBox(point_box, RangePredicate::kIntersects,
+                   /*count_only=*/false, sink);
+        return;
+      }
+      case QueryType::kCount:
+        ExecuteBox(query.box, query.predicate, /*count_only=*/true, sink);
+        return;
+      case QueryType::kKNearest:
+        ExecuteKNearest(query.point, query.k, sink);
+        return;
+    }
+  }
+
+  /// Reader-writer arbitration between concurrent converged/static reads
+  /// (shared) and mutations or reorganizing executions (exclusive).
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace quasii

@@ -57,6 +57,14 @@ class GridIndex final : public SpatialIndex<D> {
 
   int partitions_per_dim() const { return params_.partitions_per_dim; }
 
+  /// Query-extension cells are read-only at query time, so any query is
+  /// concurrent-safe once the directory is built. Replication mode
+  /// serializes: its per-query de-duplication stamps (`last_seen_`/`epoch_`)
+  /// are shared mutable state.
+  bool ConvergedFor(const Query<D>&) const override {
+    return built_ && params_.assignment == GridAssignment::kQueryExtension;
+  }
+
   /// Builds the CSR cell directory from the live object set (the grid's
   /// whole pre-processing cost; also the mutation-overflow rebuild).
   void Build() override {
@@ -147,12 +155,12 @@ class GridIndex final : public SpatialIndex<D> {
         extended.hi[d] += half_extent_[d];
       }
       ForEachCell(CellRectOf(extended), [&](std::size_t cell) {
-        ++this->stats_.partitions_visited;
+        ++this->Stats().partitions_visited;
         for (std::size_t k = cell_start_[cell]; k < cell_start_[cell + 1];
              ++k) {
           const ObjectId id = entries_[k];
           if (overflow_.dead(id)) continue;
-          ++this->stats_.objects_tested;
+          ++this->Stats().objects_tested;
           if (MatchesPredicate(store.box(id), q, predicate)) emit.Add(id);
         }
       });
@@ -166,23 +174,23 @@ class GridIndex final : public SpatialIndex<D> {
         epoch_ = 1;
       }
       ForEachCell(CellRectOf(q), [&](std::size_t cell) {
-        ++this->stats_.partitions_visited;
+        ++this->Stats().partitions_visited;
         for (std::size_t k = cell_start_[cell]; k < cell_start_[cell + 1];
              ++k) {
           const ObjectId id = entries_[k];
           if (overflow_.dead(id)) continue;
           if (last_seen_[id] == epoch_) {
-            ++this->stats_.duplicates_removed;
+            ++this->Stats().duplicates_removed;
             continue;
           }
           last_seen_[id] = epoch_;
-          ++this->stats_.objects_tested;
+          ++this->Stats().objects_tested;
           if (MatchesPredicate(store.box(id), q, predicate)) emit.Add(id);
         }
       });
     }
     // Pending objects are not in any cell yet.
-    overflow_.ScanPending(store, q, predicate, &emit, &this->stats_);
+    overflow_.ScanPending(store, q, predicate, &emit, &this->Stats());
     emit.Flush();
   }
 

@@ -62,6 +62,25 @@ class MosaicIndex final : public SpatialIndex<D> {
   const Node& root() const { return root_; }
   bool initialized() const { return initialized_; }
 
+  /// A box query is converged when no leaf it touches (under the extended
+  /// traversal box) is still splittable — then the descent is a pure read.
+  /// kNN stays conservative: its expanding ring probes regions the
+  /// triggering query never names.
+  bool ConvergedFor(const Query<D>& query) const override {
+    if (!initialized_) return false;
+    if (query.type == QueryType::kKNearest) return false;
+    const Box<D> box = query.type == QueryType::kPoint
+                           ? Box<D>(query.point, query.point)
+                           : query.box;
+    if (box.IsEmpty()) return true;
+    Box<D> extended = box;
+    for (int d = 0; d < D; ++d) {
+      extended.lo[d] -= half_extent_[d];
+      extended.hi[d] += half_extent_[d];
+    }
+    return SubtreeConverged(root_, 0, extended);
+  }
+
  protected:
   void OnInsert(ObjectId id, const Box<D>& box) override {
     if (!initialized_) return;  // Initialize() reads the store wholesale
@@ -106,7 +125,9 @@ class MosaicIndex final : public SpatialIndex<D> {
   }
 
  private:
-  /// One box-driven execution, threaded through the recursive descent.
+  /// Box-execution context (see `SpatialIndex::ExecuteBox` for the shared
+  /// contract); Mosaic's delta: the traversal descends with the
+  /// pre-extended probe box while the exact filter uses the original.
   struct BoxExec {
     const Box<D>* q;
     const Box<D>* extended;
@@ -114,6 +135,23 @@ class MosaicIndex final : public SpatialIndex<D> {
     MatchEmitter* emit;
   };
   static constexpr std::size_t kChildren = std::size_t{1} << D;
+
+  /// Read-only replay of `QueryNode`'s routing: false as soon as some
+  /// touched leaf would still split.
+  bool SubtreeConverged(const Node& node, int depth,
+                        const Box<D>& extended) const {
+    if (node.is_leaf()) {
+      return node.objects.size() <= params_.leaf_capacity ||
+             depth >= params_.max_depth;
+    }
+    for (const Node& child : node.children) {
+      if (child.bounds.Intersects(extended) &&
+          !SubtreeConverged(child, depth + 1, extended)) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   void Initialize() {
     root_.bounds = universe_;
@@ -170,21 +208,21 @@ class MosaicIndex final : public SpatialIndex<D> {
       const std::size_t c = ChildOf(this->store_.box(id).Center(), mid);
       node->children[c].objects.push_back(id);
     }
-    ++this->stats_.cracks;
-    this->stats_.objects_moved += node->objects.size();
+    ++this->Stats().cracks;
+    this->Stats().objects_moved += node->objects.size();
     node->objects.clear();
     node->objects.shrink_to_fit();
   }
 
   void QueryNode(Node* node, int depth, const BoxExec& ctx) {
-    ++this->stats_.partitions_visited;
+    ++this->Stats().partitions_visited;
     if (node->is_leaf()) {
       if (node->objects.size() > params_.leaf_capacity &&
           depth < params_.max_depth) {
         Split(node);
         // fall through to the children loop below
       } else {
-        this->stats_.objects_tested += node->objects.size();
+        this->Stats().objects_tested += node->objects.size();
         for (const ObjectId id : node->objects) {
           if (MatchesPredicate(this->store_.box(id), *ctx.q,
                                ctx.predicate)) {

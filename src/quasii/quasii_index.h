@@ -71,6 +71,13 @@ namespace quasii {
 ///  - both mutations re-derive the per-level size thresholds from the live
 ///    count, so the slice hierarchy's geometric progression keeps tracking
 ///    the population as it grows and shrinks.
+///
+/// Concurrency (the `SpatialIndex` contract): warm-up queries serialize on
+/// the exclusive lock while they crack; once `ConvergedFor` observes that a
+/// query's descent touches only within-threshold or frozen slices — and no
+/// pending tail or compaction is due — that query runs under the shared
+/// lock with any number of peers, since converged leaf scans write only
+/// thread-local scratch and the caller's stats shard.
 template <int D>
 class QuasiiIndex final : public SpatialIndex<D> {
  public:
@@ -114,6 +121,35 @@ class QuasiiIndex final : public SpatialIndex<D> {
     return threshold_[static_cast<std::size_t>(level)];
   }
   bool initialized() const { return initialized_; }
+
+  /// A query is converged — safe to execute concurrently under the shared
+  /// lock — when nothing about its execution can reorganize: the array is
+  /// initialized, has no pending tail to promote and no compaction due,
+  /// and a read-only replay of the descent touches only slices that are
+  /// within their level threshold or frozen, and (above the leaf level)
+  /// already have children to descend into. kNN stays conservative: its
+  /// expanding ring probes regions the triggering query never names.
+  bool ConvergedFor(const Query<D>& query) const override {
+    if (!initialized_) return false;
+    if (query.type == QueryType::kKNearest) return false;
+    if (array_.pending_count() > 0) return false;
+    const std::size_t dead = array_.tombstones();
+    if (dead >= kMinCompactTombstones && dead * 4 >= array_.size()) {
+      return false;  // the next ExecuteBox will compact
+    }
+    if (array_.empty()) return true;
+    const Box<D> box = query.type == QueryType::kPoint
+                           ? Box<D>(query.point, query.point)
+                           : query.box;
+    if (box.IsEmpty()) return true;
+    Box<D> ext;
+    for (int d = 0; d < D; ++d) {
+      ext.lo[d] = box.lo[d] - half_extent_[d];
+      ext.hi[d] = std::nextafter(box.hi[d] + half_extent_[d],
+                                 std::numeric_limits<Scalar>::infinity());
+    }
+    return SlicesConverged(root_, ext);
+  }
 
  protected:
   /// Inserts never reorganize: the new row joins the pending tail and the
@@ -167,12 +203,30 @@ class QuasiiIndex final : public SpatialIndex<D> {
   }
 
  private:
-  /// One box-driven execution, threaded through the recursive descent.
+  /// Box-execution context (see `SpatialIndex::ExecuteBox` for the shared
+  /// contract); threaded through the recursive slice descent.
   struct BoxExec {
     const Box<D>* q;
     RangePredicate predicate;
     MatchEmitter* emit;
   };
+
+  /// Read-only replay of `Visit`'s routing decisions: false as soon as some
+  /// touched slice would be refined or would materialize a first child.
+  bool SlicesConverged(const std::vector<Slice>& slices,
+                       const Box<D>& ext) const {
+    for (const Slice& s : slices) {
+      const int d = s.level;
+      if (s.size() == 0 || s.lo >= ext.hi[d] || s.hi <= ext.lo[d]) continue;
+      if (s.size() > threshold_[static_cast<std::size_t>(d)] && !s.frozen) {
+        return false;
+      }
+      if (d == D - 1) continue;
+      if (s.children.empty()) return false;
+      if (!SlicesConverged(s.children, ext)) return false;
+    }
+    return true;
+  }
 
   std::size_t LiveRows() const {
     return array_.size() - array_.tombstones();
@@ -208,7 +262,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
   void MaybeCompact() {
     const std::size_t dead = array_.tombstones();
     if (dead < kMinCompactTombstones || dead * 4 < array_.size()) return;
-    this->stats_.objects_moved += LiveRows();
+    this->Stats().objects_moved += LiveRows();
     Initialize();
   }
 
@@ -259,8 +313,8 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// Two-sided partition of `[begin, end)` by `key < v` — one crack step.
   std::size_t CrackOnAxis(std::size_t begin, std::size_t end, int d, Scalar v) {
     const std::size_t pos = array_.CrackOnAxis(begin, end, d, v);
-    ++this->stats_.cracks;
-    this->stats_.objects_moved += end - begin;
+    ++this->Stats().cracks;
+    this->Stats().objects_moved += end - begin;
     return pos;
   }
 
@@ -286,8 +340,8 @@ class QuasiiIndex final : public SpatialIndex<D> {
     if (array_.HasDeadIn(s.begin, s.end)) {
       const std::size_t live_end = array_.PartitionLiveFirst(s.begin, s.end);
       if (live_end < s.end) {
-        ++this->stats_.cracks;
-        this->stats_.objects_moved += s.size();
+        ++this->Stats().cracks;
+        this->Stats().objects_moved += s.size();
         dead.level = d;
         dead.begin = live_end;
         dead.end = s.end;
@@ -352,8 +406,8 @@ class QuasiiIndex final : public SpatialIndex<D> {
         continue;
       }
       const auto split = array_.MedianSplit(t.begin, t.end, d);
-      ++this->stats_.cracks;
-      this->stats_.objects_moved += t.size();
+      ++this->Stats().cracks;
+      this->Stats().objects_moved += t.size();
       if (split.frozen) {
         t.frozen = true;
         out->push_back(std::move(t));
@@ -430,9 +484,9 @@ class QuasiiIndex final : public SpatialIndex<D> {
     const int d = s->level;
     if (s->size() == 0 || s->lo >= ext.hi[d] || s->hi <= ext.lo[d]) return;
     if (ctx.q->lo[d] <= s->lo && s->hi <= ctx.q->hi[d]) covered |= 1u << d;
-    ++this->stats_.partitions_visited;
+    ++this->Stats().partitions_visited;
     if (d == D - 1) {
-      this->stats_.objects_tested += s->size();
+      this->Stats().objects_tested += s->size();
       array_.StreamScan(s->begin, s->end, *ctx.q, ctx.predicate, covered,
                         ctx.emit);
       return;

@@ -117,6 +117,11 @@ class RTreeIndex final : public SpatialIndex<D> {
     built_ = true;
   }
 
+  /// The packed tree is immutable at query time (mutations only touch the
+  /// overflow lists, under the exclusive lock), so any query is
+  /// concurrent-safe once built.
+  bool ConvergedFor(const Query<D>&) const override { return built_; }
+
   /// Structural accessors for tests and benchmarks.
   const std::vector<Entry<D>>& entries() const { return entries_; }
   const std::vector<std::vector<Node>>& levels() const { return levels_; }
@@ -142,7 +147,7 @@ class RTreeIndex final : public SpatialIndex<D> {
     const BoxExec ctx{&q, predicate, &emit};
     QueryNode(ctx, levels_.size() - 1, 0);
     // Pending objects live outside the packed tree until a rebuild.
-    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->stats_);
+    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->Stats());
     emit.Flush();
   }
 
@@ -157,7 +162,7 @@ class RTreeIndex final : public SpatialIndex<D> {
     TopKSink topk(k);
     // Offer the pending overflow first: it only tightens the prune bound,
     // and the (distance, id) tie-break keeps results index-independent.
-    this->stats_.objects_tested += overflow_.pending().size();
+    this->Stats().objects_tested += overflow_.pending().size();
     for (const ObjectId id : overflow_.pending()) {
       topk.Offer(id, this->store_.box(id).MinDistSquaredTo(pt));
     }
@@ -177,11 +182,11 @@ class RTreeIndex final : public SpatialIndex<D> {
       frontier.pop();
       if (topk.full() && item.dist_sq > topk.bound()) break;
       const Node& node = levels_[item.level][item.idx];
-      ++this->stats_.partitions_visited;
+      ++this->Stats().partitions_visited;
       if (item.level == 0) {
         for (std::size_t i = node.begin; i < node.end; ++i) {
           if (overflow_.dead(entries_[i].id)) continue;
-          ++this->stats_.objects_tested;
+          ++this->Stats().objects_tested;
           topk.Offer(entries_[i].id, entries_[i].box.MinDistSquaredTo(pt));
         }
         continue;
@@ -225,14 +230,14 @@ class RTreeIndex final : public SpatialIndex<D> {
 
   void QueryNode(const BoxExec& ctx, std::size_t level, std::size_t node_idx) {
     const Node& node = levels_[level][node_idx];
-    ++this->stats_.partitions_visited;
+    ++this->Stats().partitions_visited;
     // Bulk resolution trusts node MBBs and subtree counts, which erases
     // turn into stale upper bounds — any tombstone disables the shortcuts.
     const bool may_bulk = overflow_.dead_count() == 0;
     if (level == 0) {
       if (may_bulk && SubtreeAllMatch(node.box, *ctx.q, ctx.predicate)) {
         // Whole leaf matches: resolve in bulk without a single box test.
-        this->stats_.objects_tested += node.count;
+        this->Stats().objects_tested += node.count;
         if (ctx.emit->count_only()) {
           ctx.emit->AddAnonymous(node.count);
         } else {
@@ -244,7 +249,7 @@ class RTreeIndex final : public SpatialIndex<D> {
       }
       for (std::size_t i = node.begin; i < node.end; ++i) {
         if (overflow_.dead(entries_[i].id)) continue;
-        ++this->stats_.objects_tested;
+        ++this->Stats().objects_tested;
         if (MatchesPredicate(entries_[i].box, *ctx.q, ctx.predicate)) {
           ctx.emit->Add(entries_[i].id);
         }
@@ -258,7 +263,7 @@ class RTreeIndex final : public SpatialIndex<D> {
         // Count bulk path: the whole subtree matches — add its size without
         // descending or touching ids. The resolved entries still count as
         // tested so `objects_tested >= matches` stays invariant.
-        this->stats_.objects_tested += below[i].count;
+        this->Stats().objects_tested += below[i].count;
         ctx.emit->AddAnonymous(below[i].count);
         continue;
       }

@@ -25,14 +25,18 @@ class ScanIndex final : public SpatialIndex<D> {
 
   std::string_view name() const override { return "Scan"; }
 
+  /// Stateless queries: every execution is a pure read of the store, so
+  /// concurrent reads are always safe.
+  bool ConvergedFor(const Query<D>&) const override { return true; }
+
  protected:
   void OnInsert(ObjectId, const Box<D>&) override {}
   void OnErase(ObjectId) override {}
 
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
-    this->stats_.partitions_visited += 1;
-    this->stats_.objects_tested += this->store_.live_count();
+    this->Stats().partitions_visited += 1;
+    this->Stats().objects_tested += this->store_.live_count();
     MatchEmitter emit(count_only, &sink);
     this->store_.ForEachLive([&](ObjectId id, const Box<D>& b) {
       if (MatchesPredicate(b, q, predicate)) emit.Add(id);
@@ -44,8 +48,8 @@ class ScanIndex final : public SpatialIndex<D> {
   /// distance to a bounded best-k heap.
   void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                        Sink& sink) override {
-    this->stats_.partitions_visited += 1;
-    this->stats_.objects_tested += this->store_.live_count();
+    this->Stats().partitions_visited += 1;
+    this->Stats().objects_tested += this->store_.live_count();
     TopKSink topk(k);
     this->store_.ForEachLive([&](ObjectId id, const Box<D>& b) {
       topk.Offer(id, b.MinDistSquaredTo(pt));

@@ -78,6 +78,11 @@ class SfcIndex final : public SpatialIndex<D> {
 
   const std::vector<ZEntry>& entries() const { return entries_; }
 
+  /// The sorted code array is immutable at query time (mutations only touch
+  /// the overflow lists, under the exclusive lock), so any query is
+  /// concurrent-safe once built.
+  bool ConvergedFor(const Query<D>&) const override { return built_; }
+
  protected:
   void OnInsert(ObjectId id, const Box<D>&) override {
     if (!built_) return;  // Build() reads the store wholesale
@@ -112,7 +117,7 @@ class SfcIndex final : public SpatialIndex<D> {
       QueryBigMinScan(ctx, lo, hi);
     }
     // Pending objects are not Z-coded yet.
-    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->stats_);
+    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->Stats());
     emit.Flush();
   }
 
@@ -125,7 +130,8 @@ class SfcIndex final : public SpatialIndex<D> {
  private:
   using Cells = typename zorder::ZGrid<D>::Cells;
 
-  /// One box-driven execution, threaded through the interval walks.
+  /// Box-execution context (see `SpatialIndex::ExecuteBox` for the shared
+  /// contract); threaded through the interval walks instead of a descent.
   struct BoxExec {
     const Box<D>* q;
     RangePredicate predicate;
@@ -136,7 +142,7 @@ class SfcIndex final : public SpatialIndex<D> {
     for (std::size_t k = begin; k < end; ++k) {
       const ObjectId id = entries_[k].id;
       if (overflow_.dead(id)) continue;
-      ++this->stats_.objects_tested;
+      ++this->Stats().objects_tested;
       if (MatchesPredicate(this->store_.box(id), *ctx.q, ctx.predicate)) {
         ctx.emit->Add(id);
       }
@@ -153,12 +159,13 @@ class SfcIndex final : public SpatialIndex<D> {
   }
 
   void QueryDecompose(const BoxExec& ctx, const Cells& lo, const Cells& hi) {
-    intervals_.clear();
-    zorder::ZRangeDecomposer<D>::Decompose(lo, hi, params_.max_intervals,
-                                           &intervals_);
-    this->stats_.intervals += intervals_.size();
-    for (const zorder::ZInterval& iv : intervals_) {
-      ++this->stats_.partitions_visited;
+    // Thread-local (concurrent queries must not share an index member) and
+    // memoized, so back-to-back identical rectangles decompose once.
+    const std::vector<zorder::ZInterval>& intervals =
+        zorder::DecomposeCached<D>(lo, hi, params_.max_intervals);
+    this->Stats().intervals += intervals.size();
+    for (const zorder::ZInterval& iv : intervals) {
+      ++this->Stats().partitions_visited;
       const std::size_t begin = LowerBound(iv.lo);
       std::size_t end = entries_.size();
       if (iv.hi != std::numeric_limits<zorder::ZCode>::max()) {
@@ -185,7 +192,7 @@ class SfcIndex final : public SpatialIndex<D> {
       if (in_rect) {
         const ObjectId id = entries_[pos].id;
         if (!overflow_.dead(id)) {
-          ++this->stats_.objects_tested;
+          ++this->Stats().objects_tested;
           if (MatchesPredicate(this->store_.box(id), *ctx.q,
                                ctx.predicate)) {
             ctx.emit->Add(id);
@@ -195,7 +202,7 @@ class SfcIndex final : public SpatialIndex<D> {
         continue;
       }
       // Gap: jump to the next code inside the query rectangle.
-      ++this->stats_.partitions_visited;
+      ++this->Stats().partitions_visited;
       const auto next =
           zorder::BigMin<D>(entries_[pos].code, zmin, zmax);
       if (!next.has_value()) break;
@@ -208,7 +215,6 @@ class SfcIndex final : public SpatialIndex<D> {
   bool built_ = false;
   std::vector<ZEntry> entries_;
   Point<D> half_extent_{};
-  std::vector<zorder::ZInterval> intervals_;  // reused across queries
   /// Shared mutation-overflow state (pending inserts + sorted-id
   /// tombstones).
   MutationOverflow<D> overflow_;

@@ -61,6 +61,36 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   /// execution.
   void Build() override {}
 
+  /// A box query is converged when every Z-interval it decomposes into has
+  /// both of its crack boundaries already learned — then `CrackAt` is a
+  /// pure map lookup and the interval scans (plus the read-only pending
+  /// scan) mutate nothing. kNN stays conservative: its expanding ring
+  /// probes regions the triggering query never names.
+  bool ConvergedFor(const Query<D>& query) const override {
+    if (!initialized_) return false;
+    if (query.type == QueryType::kKNearest) return false;
+    const Box<D> box = query.type == QueryType::kPoint
+                           ? Box<D>(query.point, query.point)
+                           : query.box;
+    if (box.IsEmpty()) return true;
+    Box<D> extended = box;
+    for (int d = 0; d < D; ++d) {
+      extended.lo[d] -= half_extent_[d];
+      extended.hi[d] += half_extent_[d];
+    }
+    typename zorder::ZGrid<D>::Cells lo, hi;
+    grid_.CellRect(extended, &lo, &hi);
+    for (const zorder::ZInterval& iv :
+         zorder::DecomposeCached<D>(lo, hi, params_.max_intervals)) {
+      if (boundaries_.find(iv.lo) == boundaries_.end()) return false;
+      if (iv.hi != std::numeric_limits<zorder::ZCode>::max() &&
+          boundaries_.find(iv.hi + 1) == boundaries_.end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
  protected:
   void OnInsert(ObjectId id, const Box<D>&) override {
     if (!initialized_) return;  // Initialize() reads the store wholesale
@@ -85,14 +115,16 @@ class SfcrackerIndex final : public SpatialIndex<D> {
     }
     typename zorder::ZGrid<D>::Cells lo, hi;
     grid_.CellRect(extended, &lo, &hi);
-    intervals_.clear();
-    zorder::ZRangeDecomposer<D>::Decompose(lo, hi, params_.max_intervals,
-                                           &intervals_);
-    this->stats_.intervals += intervals_.size();
+    // Thread-local (concurrent converged queries must not share an index
+    // member) and memoized: when `Execute`'s ConvergedFor pre-check just
+    // decomposed this same rectangle, the cached intervals are reused.
+    const std::vector<zorder::ZInterval>& intervals =
+        zorder::DecomposeCached<D>(lo, hi, params_.max_intervals);
+    this->Stats().intervals += intervals.size();
 
     MatchEmitter emit(count_only, &sink);
-    for (const zorder::ZInterval& iv : intervals_) {
-      ++this->stats_.partitions_visited;
+    for (const zorder::ZInterval& iv : intervals) {
+      ++this->Stats().partitions_visited;
       const std::size_t begin = CrackAt(iv.lo);
       std::size_t end = codes_.size();
       if (iv.hi != std::numeric_limits<zorder::ZCode>::max()) {
@@ -101,14 +133,14 @@ class SfcrackerIndex final : public SpatialIndex<D> {
       for (std::size_t k = begin; k < end; ++k) {
         const ObjectId id = ids_[k];
         if (overflow_.dead(id)) continue;
-        ++this->stats_.objects_tested;
+        ++this->Stats().objects_tested;
         if (MatchesPredicate(this->store_.box(id), q, predicate)) {
           emit.Add(id);
         }
       }
     }
     // Pending objects are not Z-coded yet.
-    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->stats_);
+    overflow_.ScanPending(this->store_, q, predicate, &emit, &this->Stats());
     emit.Flush();
   }
 
@@ -188,8 +220,8 @@ class SfcrackerIndex final : public SpatialIndex<D> {
           std::swap(ids_[i], ids_[j]);
         });
     boundaries_[v] = pos;
-    ++this->stats_.cracks;
-    this->stats_.objects_moved += piece_hi - piece_lo;
+    ++this->Stats().cracks;
+    this->Stats().objects_moved += piece_hi - piece_lo;
     return pos;
   }
 
@@ -203,7 +235,6 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   Point<D> half_extent_{};
   /// Cracker index: boundary value -> array position (AVL tree in [18]).
   std::map<zorder::ZCode, std::size_t> boundaries_;
-  std::vector<zorder::ZInterval> intervals_;
   /// Shared mutation-overflow state (pending inserts + cracked-id
   /// tombstones).
   MutationOverflow<D> overflow_;

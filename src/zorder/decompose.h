@@ -104,6 +104,37 @@ class ZRangeDecomposer {
   }
 };
 
+/// Per-thread decomposition scratch shared by the SFC-based indexes:
+/// returns the interval list for `(rect_lo, rect_hi, max_intervals)`,
+/// reusing the previous result when the arguments repeat — decomposition
+/// is a pure function of them, so a convergence pre-check followed by the
+/// execution of the same query costs one decomposition, and repeated calls
+/// on one thread never reallocate. Thread-local, so concurrent queries
+/// never share a buffer; the reference stays valid until the calling
+/// thread's next call.
+template <int D>
+const std::vector<ZInterval>& DecomposeCached(
+    const typename ZRangeDecomposer<D>::Cells& rect_lo,
+    const typename ZRangeDecomposer<D>::Cells& rect_hi, int max_intervals) {
+  struct Scratch {
+    typename ZRangeDecomposer<D>::Cells lo{};
+    typename ZRangeDecomposer<D>::Cells hi{};
+    int max_intervals = -1;  // never matches a real (positive) budget
+    std::vector<ZInterval> intervals;
+  };
+  static thread_local Scratch scratch;
+  if (scratch.max_intervals != max_intervals || scratch.lo != rect_lo ||
+      scratch.hi != rect_hi) {
+    scratch.lo = rect_lo;
+    scratch.hi = rect_hi;
+    scratch.max_intervals = max_intervals;
+    scratch.intervals.clear();
+    ZRangeDecomposer<D>::Decompose(rect_lo, rect_hi, max_intervals,
+                                   &scratch.intervals);
+  }
+  return scratch.intervals;
+}
+
 }  // namespace quasii::zorder
 
 #endif  // QUASII_ZORDER_DECOMPOSE_H_

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/object_store.h"
 #include "common/query.h"
 #include "common/rng.h"
 #include "common/spatial_index.h"
@@ -314,6 +315,78 @@ void TestMutationContract() {
   CHECK(data[0] == b);
 }
 
+/// The cached live MBB (the kNN termination bound) under mutation: erasing
+/// a boundary-touching object must shrink it to the remaining population,
+/// and a subsequent insert must re-expand it — in 2D and 3D.
+template <int D>
+void CheckObjectStoreBoundsMaintenance() {
+  // A tight cluster in [10, 20]^D plus one extremal outlier at [90, 95]^D.
+  quasii::Dataset<D> data;
+  Rng rng(71);
+  for (int i = 0; i < 20; ++i) {
+    Box<D> b;
+    for (int d = 0; d < D; ++d) {
+      const Scalar lo = static_cast<Scalar>(rng.Uniform(10, 19));
+      b.lo[d] = lo;
+      b.hi[d] = lo + 1;
+    }
+    data.push_back(b);
+  }
+  Box<D> outlier;
+  for (int d = 0; d < D; ++d) {
+    outlier.lo[d] = 90;
+    outlier.hi[d] = 95;
+  }
+  data.push_back(outlier);
+  const ObjectId outlier_id = static_cast<ObjectId>(data.size() - 1);
+
+  quasii::ObjectStore<D> store(data);
+  for (int d = 0; d < D; ++d) {
+    CHECK_EQ(store.bounds().hi[d], outlier.hi[d]);
+    CHECK_LE(store.bounds().lo[d], 19);
+  }
+
+  // Erasing the extremal object shrinks the bounds to the cluster.
+  CHECK(store.Erase(outlier_id));
+  Box<D> cluster = Box<D>::Empty();
+  for (ObjectId id = 0; id < outlier_id; ++id) {
+    cluster.ExpandToInclude(data[id]);
+  }
+  CHECK(store.bounds() == cluster);
+
+  // An interior erase leaves them untouched.
+  CHECK(store.Erase(0));
+  Box<D> without_first = Box<D>::Empty();
+  store.ForEachLive([&without_first](ObjectId, const Box<D>& b) {
+    without_first.ExpandToInclude(b);
+  });
+  CHECK(store.bounds() == without_first);
+
+  // A re-insert past the old boundary re-expands them on the spot.
+  Box<D> far_box;
+  for (int d = 0; d < D; ++d) {
+    far_box.lo[d] = 97;
+    far_box.hi[d] = 99;
+  }
+  CHECK(store.Insert(outlier_id, far_box));
+  for (int d = 0; d < D; ++d) {
+    CHECK_EQ(store.bounds().hi[d], far_box.hi[d]);
+  }
+
+  // Erasing down to one object pins the bounds to exactly its box; erasing
+  // the last one empties them.
+  for (ObjectId id = 1; id < outlier_id; ++id) CHECK(store.Erase(id));
+  CHECK(store.bounds() == far_box);
+  CHECK(store.Erase(outlier_id));
+  CHECK_EQ(store.live_count(), 0u);
+  CHECK(store.bounds().IsEmpty());
+}
+
+void TestObjectStoreBoundsMaintenance() {
+  CheckObjectStoreBoundsMaintenance<2>();
+  CheckObjectStoreBoundsMaintenance<3>();
+}
+
 QuasiiIndex<3>::Params SmallQuasiiParams() {
   QuasiiIndex<3>::Params p;
   p.leaf_threshold = 64;
@@ -437,6 +510,7 @@ int main() {
   RUN_TEST(TestInterleavedOps3D);
   RUN_TEST(TestInterleavedOps2D);
   RUN_TEST(TestMutationContract);
+  RUN_TEST(TestObjectStoreBoundsMaintenance);
   RUN_TEST(TestQuasiiPendingDrains);
   RUN_TEST(TestQuasiiTombstonesAndCompaction);
   RUN_TEST(TestQuasiiReinsertNoDuplicates);

@@ -95,7 +95,7 @@ struct ThreadRun {
 };
 
 /// Per-index measurement: build time, per-op latencies, cumulative stats,
-/// and the per-op-type breakdown (the four query types plus insert/erase).
+/// and the per-op-type breakdown (the five query types plus insert/erase).
 /// Threaded runs add the batch wall clock and one section per thread;
 /// `latencies_ms` then concatenates the streams in thread order and
 /// `total_query_ms` sums the client-observed per-op latencies across
@@ -113,6 +113,18 @@ struct IndexRun {
   double wall_ms = 0;
   std::vector<ThreadRun> per_thread;
 };
+
+/// The right-hand box set of a config's stream-join ops: a fixed-size
+/// uniform box set drawn with its own seed stream (`seed + 3`), so adding
+/// `join:` to a mix perturbs neither the dataset nor the query footprints.
+inline std::vector<Box3> MakeJoinSource(const BenchConfig& config,
+                                        const Box3& universe) {
+  datagen::UniformQueryParams p;
+  p.count = 64;
+  p.selectivity = config.selectivity;
+  p.seed = config.seed + 3;
+  return datagen::MakeUniformQueries(universe, p);
+}
 
 inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
                             Box3* universe, std::vector<Box3>* queries) {
@@ -157,12 +169,14 @@ inline void MakeBenchInputs(const BenchConfig& config, Dataset3* data,
 /// loaded with (fresh insert ids start there).
 inline std::vector<Op3> MakeBenchOps(const BenchConfig& config,
                                      const std::vector<Box3>& boxes,
-                                     std::size_t initial_n) {
+                                     std::size_t initial_n,
+                                     const std::vector<Box3>* join_source =
+                                         nullptr) {
   WorkloadSpec spec;
   spec.mix = config.mix;
   spec.knn_k = config.knn_k;
   spec.seed = config.seed + 2;
-  return MakeOpWorkload<3>(boxes, spec, initial_n);
+  return MakeOpWorkload<3>(boxes, spec, initial_n, join_source);
 }
 
 /// Reusable sinks of a measurement loop, pre-sized so reallocation never
@@ -172,6 +186,7 @@ struct RunSinks {
   std::vector<ObjectId> result;
   VectorSink vector_sink{&result};
   CountSink count_sink;
+  CountPairSink pair_count;
 };
 
 struct TimedExec {
@@ -189,7 +204,7 @@ inline TimedExec ExecTimedOp(SpatialIndex<3>* index, const Op3& op,
   TimedExec exec;
   if (op.kind == OpKind::kQuery) {
     const Query3& q = op.query;
-    if (q.type == QueryType::kCount) {
+    if (q.type() == QueryType::kCount) {
       sinks->count_sink.Reset();
       Timer t;
       index->Execute(q, sinks->count_sink);
@@ -202,6 +217,17 @@ inline TimedExec ExecTimedOp(SpatialIndex<3>* index, const Op3& op,
       exec.ms = t.Millis();
       exec.results = sinks->result.size();
     }
+    return exec;
+  }
+  if (op.kind == OpKind::kJoin) {
+    // The query is built here, at execution time: it borrows the op-owned
+    // stream vector, which is only stable for this call.
+    const Query3 q = JoinQuery<3>(op.join_stream);
+    sinks->pair_count.Reset();
+    Timer t;
+    index->Execute(q, sinks->pair_count);
+    exec.ms = t.Millis();
+    exec.results = sinks->pair_count.count();
     return exec;
   }
   Timer t;
@@ -344,8 +370,8 @@ inline void WriteStats(JsonWriter* w, const QueryStats& s) {
 }
 
 /// Emits the `per_type` object: one section per operation type, always all
-/// six — range/point/count/knn/insert/erase (zeroed sections make schema
-/// consumers simpler than absent ones).
+/// seven — range/point/count/knn/join/insert/erase (zeroed sections make
+/// schema consumers simpler than absent ones).
 inline void WriteTypeBreakdown(
     JsonWriter* w, const std::array<TypeBreakdown, kNumOpTypes>& per_type) {
   w->BeginObject();
@@ -370,19 +396,22 @@ inline void WriteMix(JsonWriter* w, const WorkloadMix& mix) {
   w->Key("point").Double(mix.point);
   w->Key("count").Double(mix.count);
   w->Key("knn").Double(mix.knn);
+  w->Key("join").Double(mix.join);
   w->Key("insert").Double(mix.insert);
   w->Key("erase").Double(mix.erase);
   w->EndObject();
 }
 
 /// Runs the configured experiment and returns the JSON report consumed by
-/// the BENCH_*.json comparison tooling (schema v4: `config.threads`, and —
-/// on threaded runs — per-result `wall_ms` + `per_thread` sections).
+/// the BENCH_*.json comparison tooling (schema v5: the mix and the
+/// per-type sections gain `join`, and stream-join ops count as queries).
 inline std::string RunBenchmark(const BenchConfig& config) {
   Dataset3 data;
   Box3 universe;
   std::vector<Box3> boxes;
   MakeBenchInputs(config, &data, &universe, &boxes);
+  std::vector<Box3> join_source;
+  if (config.mix.join > 0) join_source = MakeJoinSource(config, universe);
   const bool threaded = config.threads > 1;
   std::vector<Op3> ops;
   std::vector<std::vector<Op3>> streams;
@@ -392,17 +421,17 @@ inline std::string RunBenchmark(const BenchConfig& config) {
     spec.mix = config.mix;
     spec.knn_k = config.knn_k;
     spec.seed = config.seed + 2;
-    streams =
-        MakeThreadOpStreams(boxes, spec, data.size(), config.threads);
+    streams = MakeThreadOpStreams(boxes, spec, data.size(), config.threads,
+                                  &join_source);
     for (const auto& s : streams) total_ops += s.size();
   } else {
-    ops = MakeBenchOps(config, boxes, data.size());
+    ops = MakeBenchOps(config, boxes, data.size(), &join_source);
     total_ops = ops.size();
   }
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-bench-v4");
+  w.Key("schema").String("quasii-bench-v5");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);

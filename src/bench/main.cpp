@@ -32,10 +32,12 @@ void PrintUsage() {
                "                    [--selectivity=FRACTION] [--seed=SEED]\n"
                "                    [--indexes=NAME,NAME,...] [--out=PATH]\n"
                "                    [--mix=range:W,point:W,count:W,knn:W,\n"
-               "                           insert:W,erase:W]\n"
+               "                           join:W,insert:W,erase:W]\n"
                "                    [--knn-k=K] [--threads=N]\n"
                "--mix types the workload (weights are ratios; default pure\n"
                "range); point/kNN queries probe the footprint box centres.\n"
+               "join ops stream a window of a fixed 64-box right-hand set\n"
+               "(seed+3) against the index, reporting canonical pair counts.\n"
                "insert/erase weights turn it into a read/write stream:\n"
                "inserts add fresh objects derived from the footprint boxes,\n"
                "erases remove uniform victims from the live id pool.\n"

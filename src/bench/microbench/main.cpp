@@ -26,7 +26,7 @@ void PrintUsage() {
                "                         [--queries=COUNT] [--seed=SEED]\n"
                "                         [--workloads=WORKLOAD,...]\n"
                "                         [--out=PATH]\n"
-               "workloads: uniform, clustered, mixed, readwrite\n"
+               "workloads: uniform, clustered, mixed, readwrite, join\n"
                "defaults: n = 2^17..2^20, 1000 operations, the uniform,\n"
                "          clustered, and readwrite workloads, report written\n"
                "          to BENCH_quasii.json. The mixed workload (70%%\n"
@@ -36,7 +36,11 @@ void PrintUsage() {
                "          insert, 5%% erase) probes incremental maintenance\n"
                "          under a shifting population. Uniform-workload\n"
                "          QUASII results carry a scaling block: converged\n"
-               "          read-only throughput at 1/2/4/8 pool threads.\n");
+               "          read-only throughput at 1/2/4/8 pool threads.\n"
+               "          The join workload runs repeated self-joins per\n"
+               "          index (crack-driven join convergence); its Scan\n"
+               "          baseline is quadratic, so pair it with small\n"
+               "          exponents (the CI flags use 13..14).\n");
 }
 
 bool ParseArg(const std::string& arg, MicrobenchOptions* options,
@@ -62,7 +66,7 @@ bool ParseArg(const std::string& arg, MicrobenchOptions* options,
       if (end > start) {
         const std::string w = value.substr(start, end - start);
         if (w != "uniform" && w != "clustered" && w != "mixed" &&
-            w != "readwrite") {
+            w != "readwrite" && w != "join") {
           return false;
         }
         options->workloads.push_back(w);

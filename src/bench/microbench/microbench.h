@@ -41,13 +41,21 @@ namespace quasii::bench {
 /// *converged* index at 1/2/4/8 pool threads (the whole query stream,
 /// repeated to a measurable batch size, through `BatchExecutor`), the
 /// measurement behind the multi-threaded execution layer's acceptance bar.
+/// Schema v5 adds the `join` per-op-type section everywhere and the "join"
+/// workload: repeated self-joins per index, the measurement behind the
+/// crack-driven join's acceptance bar (QUASII must produce the same pairs
+/// as Scan's nested loop while testing far fewer objects, and converge —
+/// later rounds add no cracks). The join workload is quadratic for the
+/// Scan baseline, so it belongs to CI-sized exponents, not the default
+/// full-size matrix.
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
   int queries = 1000;
   std::uint64_t seed = 1;
-  /// Subset of {"uniform", "clustered", "mixed", "readwrite"}; uniform +
-  /// clustered + readwrite when empty (the committed-baseline matrix).
+  /// Subset of {"uniform", "clustered", "mixed", "readwrite", "join"};
+  /// uniform + clustered + readwrite when empty (the committed-baseline
+  /// matrix).
   std::vector<std::string> workloads;
 };
 
@@ -150,6 +158,54 @@ inline std::vector<std::unique_ptr<SpatialIndex<3>>> MakeMicrobenchRoster(
   return roster;
 }
 
+/// Rounds of the join-workload scenario: the first self-join cracks (or
+/// scans), the remaining ones measure the converged join cost — enough
+/// points for the convergence curve to show the drop without paying the
+/// quadratic Scan baseline more often than necessary.
+constexpr int kJoinRounds = 4;
+
+/// The join scenario: `kJoinRounds` repeated index-vs-itself joins through
+/// `Execute(Query, PairSink&)`, shaped into the `MicroRun` schema — the
+/// convergence points sample every round, `first_query_ms` is the cracking
+/// round, `steady_tail_mean_ms` the last (converged) one, and all work
+/// lands in the `join` per-type section. `result_objects` accumulates
+/// canonical pair counts, which must agree across the roster.
+inline MicroRun RunJoinMicro(SpatialIndex<3>* index) {
+  MicroRun run;
+  run.name = std::string(index->name());
+  Timer build_timer;
+  index->Build();
+  run.build_ms = build_timer.Millis();
+  index->ResetStats();
+
+  const Query3 q = JoinQuery<3>(*index);
+  CountPairSink pairs;
+  TypeBreakdown& agg = run.per_type[static_cast<std::size_t>(kTypeJoin)];
+  for (int r = 0; r < kJoinRounds; ++r) {
+    const QueryStats before = index->thread_stats();
+    pairs.Reset();
+    Timer t;
+    index->Execute(q, pairs);
+    const double ms = t.Millis();
+    run.total_query_ms += ms;
+    run.result_objects += pairs.count();
+    if (r == 0) run.first_query_ms = ms;
+    if (r == kJoinRounds - 1) run.steady_tail_mean_ms = ms;
+    ++agg.queries;
+    agg.total_ms += ms;
+    agg.result_objects += pairs.count();
+    agg.stats += index->thread_stats() - before;
+    ConvergencePoint p;
+    p.query = r + 1;
+    p.cumulative_ms = run.total_query_ms;
+    p.cumulative_cracks = index->stats().cracks;
+    p.cumulative_objects_moved = index->stats().objects_moved;
+    run.convergence.push_back(p);
+  }
+  run.cumulative = index->stats();
+  return run;
+}
+
 inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
   MicroRun run;
   run.name = std::string(index->name());
@@ -211,7 +267,7 @@ inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
     checksum = (checksum ^ v) * 1099511628211ull;
   };
   for (const Op3& op : ops) {
-    if (op.kind != OpKind::kQuery || op.query.type != QueryType::kRange) {
+    if (op.kind != OpKind::kQuery || op.query.type() != QueryType::kRange) {
       continue;
     }
     ids.clear();
@@ -279,7 +335,7 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v4");
+  w.Key("schema").String("quasii-microbench-v5");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
@@ -292,11 +348,12 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
     for (int e = options.min_exp; e <= options.max_exp; ++e) {
       BenchConfig config;
       config.dataset = "uniform";
-      // The mixed and readwrite workloads reuse the uniform footprint
-      // generator; only the operation *types* differ.
+      // The mixed, readwrite, and join workloads reuse the uniform
+      // footprint generator; only the operations differ.
       const bool mixed = workload == "mixed";
       const bool readwrite = workload == "readwrite";
-      config.workload = mixed || readwrite ? "uniform" : workload;
+      const bool join = workload == "join";
+      config.workload = mixed || readwrite || join ? "uniform" : workload;
       config.n = std::size_t{1} << e;
       config.queries = options.queries;
       // Paper selectivities: 0.1% for the uniform workload (§6.6), 10^-2 %
@@ -310,13 +367,15 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
       Box3 universe;
       std::vector<Box3> boxes;
       MakeBenchInputs(config, &data, &universe, &boxes);
-      const std::vector<Op3> ops = MakeBenchOps(config, boxes, data.size());
+      const std::vector<Op3> ops =
+          join ? std::vector<Op3>{} : MakeBenchOps(config, boxes, data.size());
 
       w.BeginObject();
       w.Key("dataset").String(config.dataset);
       w.Key("workload").String(workload);
       w.Key("n").Uint(data.size());
-      w.Key("queries").Uint(ops.size());
+      w.Key("queries").Uint(join ? static_cast<std::size_t>(kJoinRounds)
+                                 : ops.size());
       w.Key("selectivity").Double(config.selectivity);
       w.Key("seed").Uint(config.seed);
       w.Key("mix");
@@ -324,7 +383,8 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
       w.Key("results").BeginArray();
       auto roster = MakeMicrobenchRoster(data, universe);
       for (const auto& index : roster) {
-        const MicroRun run = RunMicro(index.get(), ops);
+        const MicroRun run =
+            join ? RunJoinMicro(index.get()) : RunMicro(index.get(), ops);
         // The scaling curve rides on the uniform (read-only, pure-range)
         // configs' QUASII result: the workload has fully converged the
         // index by now, so this measures the shared-lock read path.

@@ -1,6 +1,7 @@
 #ifndef QUASII_BENCH_WORKLOAD_H_
 #define QUASII_BENCH_WORKLOAD_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -14,7 +15,7 @@
 
 namespace quasii::bench {
 
-/// Per-type composition of a mixed workload: relative weights of the four
+/// Per-type composition of a mixed workload: relative weights of the five
 /// engine query types plus the two mutation operations (they need not sum
 /// to 1; only ratios matter). The default is the paper's pure-intersection
 /// workload, so existing configs keep their exact behaviour.
@@ -23,14 +24,15 @@ struct WorkloadMix {
   double point = 0.0;
   double count = 0.0;
   double knn = 0.0;
+  double join = 0.0;
   double insert = 0.0;
   double erase = 0.0;
 
   double Total() const {
-    return range + point + count + knn + insert + erase;
+    return range + point + count + knn + join + insert + erase;
   }
   bool IsPureRange() const {
-    return point == 0 && count == 0 && knn == 0 && IsReadOnly();
+    return point == 0 && count == 0 && knn == 0 && join == 0 && IsReadOnly();
   }
   bool IsReadOnly() const { return insert == 0 && erase == 0; }
 };
@@ -66,12 +68,16 @@ struct WorkloadSpec {
   WorkloadMix mix;
   /// Neighbors per kNN query.
   std::size_t knn_k = 10;
+  /// Boxes per stream-join op (a join op probes the index with a contiguous
+  /// window of the join source, so one op stays comparable in cost to the
+  /// other types instead of being a full n×m join).
+  std::size_t join_window = 8;
   /// Seed of the type-interleaving draw (independent of the box workload's
   /// own seed so the spatial footprint stays identical across mixes).
   std::uint64_t seed = 5;
 };
 
-/// Stable indices/names of the per-op-type report sections. The first four
+/// Stable indices/names of the per-op-type report sections. The first five
 /// are the engine query types; insert/erase are the mutation operations of
 /// read/write workloads.
 enum QueryTypeIndex {
@@ -79,10 +85,11 @@ enum QueryTypeIndex {
   kTypePoint = 1,
   kTypeCount = 2,
   kTypeKnn = 3,
-  kNumQueryTypes = 4,
-  kTypeInsert = 4,
-  kTypeErase = 5,
-  kNumOpTypes = 6,
+  kTypeJoin = 4,
+  kNumQueryTypes = 5,
+  kTypeInsert = 5,
+  kTypeErase = 6,
+  kNumOpTypes = 7,
 };
 
 inline const char* QueryTypeName(int type_index) {
@@ -95,6 +102,8 @@ inline const char* QueryTypeName(int type_index) {
       return "count";
     case kTypeKnn:
       return "knn";
+    case kTypeJoin:
+      return "join";
     case kTypeInsert:
       return "insert";
     case kTypeErase:
@@ -106,7 +115,7 @@ inline const char* QueryTypeName(int type_index) {
 
 template <int D>
 int TypeIndexOf(const Query<D>& q) {
-  switch (q.type) {
+  switch (q.type()) {
     case QueryType::kRange:
       return kTypeRange;
     case QueryType::kPoint:
@@ -115,12 +124,16 @@ int TypeIndexOf(const Query<D>& q) {
       return kTypeCount;
     case QueryType::kKNearest:
       return kTypeKnn;
+    case QueryType::kJoin:
+      return kTypeJoin;
+    case QueryType::kConjunction:
+      return kTypeRange;  // a conjunctive plan is a filtered range descent
   }
   return kTypeRange;
 }
 
 /// One operation of a (possibly read/write) workload stream.
-enum class OpKind { kQuery, kInsert, kErase };
+enum class OpKind { kQuery, kJoin, kInsert, kErase };
 
 template <int D>
 struct Op {
@@ -131,6 +144,10 @@ struct Op {
   ObjectId id = 0;
   /// kInsert: the new object's MBB.
   Box<D> box;
+  /// kJoin: the op-owned right-hand box stream. The `JoinQuery` is built at
+  /// execution time (a query borrowing this vector would dangle as soon as
+  /// the op is copied).
+  std::vector<Box<D>> join_stream;
 };
 
 using Op2 = Op<2>;
@@ -139,6 +156,8 @@ using Op3 = Op<3>;
 template <int D>
 int OpTypeIndexOf(const Op<D>& op) {
   switch (op.kind) {
+    case OpKind::kJoin:
+      return kTypeJoin;
     case OpKind::kInsert:
       return kTypeInsert;
     case OpKind::kErase:
@@ -174,16 +193,20 @@ Box<D> MakeInsertBox(const Box<D>& footprint, Rng* rng) {
 /// seeded with `[pool_begin, pool_end)` (plus this stream's own inserts), so
 /// callers can hand concurrent streams disjoint id spaces. A zero-weight
 /// type is never emitted; an erase drawn against an empty pool degrades to
-/// a range query.
+/// a range query, as does a join drawn without a usable `join_source`
+/// (stream-join ops copy a contiguous `spec.join_window`-sized window of
+/// the source boxes).
 template <int D>
 std::vector<Op<D>> MakeOpStream(const std::vector<Box<D>>& boxes,
                                 std::size_t begin, std::size_t end,
                                 const WorkloadSpec& spec, Rng rng,
                                 ObjectId next_id, ObjectId pool_begin,
-                                ObjectId pool_end) {
-  const double weights[kNumOpTypes] = {spec.mix.range,  spec.mix.point,
-                                       spec.mix.count,  spec.mix.knn,
-                                       spec.mix.insert, spec.mix.erase};
+                                ObjectId pool_end,
+                                const std::vector<Box<D>>* join_source =
+                                    nullptr) {
+  const double weights[kNumOpTypes] = {
+      spec.mix.range, spec.mix.point,  spec.mix.count, spec.mix.knn,
+      spec.mix.join,  spec.mix.insert, spec.mix.erase};
   const double total = spec.mix.Total();
   std::vector<ObjectId> pool;
   if (!spec.mix.IsReadOnly()) {
@@ -219,6 +242,22 @@ std::vector<Op<D>> MakeOpStream(const std::vector<Box<D>>& boxes,
       case kTypeKnn:
         op.query = KNearestQuery<D>(b.Center(), spec.knn_k);
         break;
+      case kTypeJoin: {
+        const std::size_t window =
+            join_source == nullptr
+                ? 0
+                : std::min(spec.join_window, join_source->size());
+        if (window == 0) {
+          op.query = RangeQuery<D>(b);
+          break;
+        }
+        op.kind = OpKind::kJoin;
+        const std::size_t offset = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(join_source->size() - window)));
+        op.join_stream.assign(join_source->begin() + offset,
+                              join_source->begin() + offset + window);
+        break;
+      }
       case kTypeInsert:
         op.kind = OpKind::kInsert;
         op.id = next_id++;
@@ -260,11 +299,14 @@ std::vector<Op<D>> MakeOpStream(const std::vector<Box<D>>& boxes,
 template <int D>
 std::vector<Op<D>> MakeOpWorkload(const std::vector<Box<D>>& boxes,
                                   const WorkloadSpec& spec,
-                                  std::size_t initial_n) {
+                                  std::size_t initial_n,
+                                  const std::vector<Box<D>>* join_source =
+                                      nullptr) {
   return MakeOpStream(boxes, 0, boxes.size(), spec, Rng(spec.seed),
                       /*next_id=*/static_cast<ObjectId>(initial_n),
                       /*pool_begin=*/ObjectId{0},
-                      /*pool_end=*/static_cast<ObjectId>(initial_n));
+                      /*pool_end=*/static_cast<ObjectId>(initial_n),
+                      join_source);
 }
 
 /// Splits a box workload into `threads` deterministic, independent op
@@ -280,7 +322,8 @@ std::vector<Op<D>> MakeOpWorkload(const std::vector<Box<D>>& boxes,
 template <int D>
 std::vector<std::vector<Op<D>>> MakeThreadOpStreams(
     const std::vector<Box<D>>& boxes, const WorkloadSpec& spec,
-    std::size_t initial_n, int threads) {
+    std::size_t initial_n, int threads,
+    const std::vector<Box<D>>* join_source = nullptr) {
   const std::size_t n_threads =
       static_cast<std::size_t>(threads > 0 ? threads : 1);
   const Rng base(spec.seed);
@@ -296,7 +339,8 @@ std::vector<std::vector<Op<D>>> MakeThreadOpStreams(
     const ObjectId next_id =
         static_cast<ObjectId>(initial_n + t * boxes.size());
     streams.push_back(MakeOpStream(boxes, begin, end, spec, base.Split(t),
-                                   next_id, pool_begin, pool_end));
+                                   next_id, pool_begin, pool_end,
+                                   join_source));
   }
   return streams;
 }
@@ -316,8 +360,8 @@ std::vector<Query<D>> MakeTypedWorkload(const std::vector<Box<D>>& boxes,
 }
 
 /// Parses a `--mix` specification of the form
-/// `range:0.6,point:0.2,count:0.05,knn:0.05,insert:0.07,erase:0.03` (types
-/// may be omitted; their weight defaults to 0). Returns false on unknown
+/// `range:0.6,point:0.2,count:0.05,knn:0.05,join:0.05,insert:0.07,erase:0.03`
+/// (types may be omitted; their weight defaults to 0). Returns false on unknown
 /// type names, malformed pairs, or weights that are negative, non-numeric,
 /// or trailed by garbage.
 inline bool ParseWorkloadMix(const std::string& s, WorkloadMix* mix) {
@@ -346,6 +390,8 @@ inline bool ParseWorkloadMix(const std::string& s, WorkloadMix* mix) {
       parsed.count = weight;
     } else if (name == "knn") {
       parsed.knn = weight;
+    } else if (name == "join") {
+      parsed.join = weight;
     } else if (name == "insert") {
       parsed.insert = weight;
     } else if (name == "erase") {

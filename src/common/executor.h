@@ -139,7 +139,7 @@ class BatchExecutor {
         CountSink count_sink;
         for (std::size_t i = begin; i < end; ++i) {
           BatchResult& out = results[i];
-          if (queries[i].type == QueryType::kCount) {
+          if (queries[i].type() == QueryType::kCount) {
             count_sink.Reset();
             index->Execute(queries[i], count_sink);
             out.count = count_sink.count();

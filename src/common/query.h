@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -13,16 +16,24 @@
 
 namespace quasii {
 
+template <int D>
+class SpatialIndex;
+
 /// The query types of the execution engine (the FESTIval-style query_type ×
 /// predicate matrix, adapted to the paper's volumetric setting):
-///  - kRange:    all objects whose MBB relates to `box` per `predicate`;
-///  - kPoint:    all objects whose MBB contains `point` (a zero-extent
-///               range query — closed boxes make `[p, p]` a valid box);
-///  - kCount:    the *number* of `kRange` matches — executed without ever
-///               materializing ids (sinks receive anonymous match counts);
-///  - kKNearest: the `k` objects with smallest MBB distance to `point`,
-///               ties broken by smaller id.
-enum class QueryType { kRange, kPoint, kCount, kKNearest };
+///  - kRange:       all objects whose MBB relates to `box` per `predicate`;
+///  - kPoint:       all objects whose MBB contains `point` (a zero-extent
+///                  range query — closed boxes make `[p, p]` a valid box);
+///  - kCount:       the *number* of `kRange` matches — executed without ever
+///                  materializing ids (sinks receive anonymous match counts);
+///  - kKNearest:    the `k` objects with smallest MBB distance to `point`,
+///                  ties broken by smaller id;
+///  - kJoin:        all intersecting (left, right) pairs between this index
+///                  and a second set — another index or a box stream —
+///                  executed via the `PairSink` overload of `Execute`;
+///  - kConjunction: all objects matching *every* term of a conjunctive
+///                  range plan (one descent drives, the rest filter).
+enum class QueryType { kRange, kPoint, kCount, kKNearest, kJoin, kConjunction };
 
 /// Topological predicate of a range/count query, relating a candidate
 /// object's MBB `b` to the query box `q`. Both containment predicates imply
@@ -34,19 +45,170 @@ enum class RangePredicate {
   kContainedBy,  ///< b ⊆ q: the object lies entirely inside the query box
 };
 
-/// A typed query description, consumed by `SpatialIndex::Execute`. Which
-/// fields are meaningful depends on `type`; use the factory functions below
-/// instead of aggregate-initializing.
+/// One predicate of a conjunctive range plan: a box plus the topological
+/// predicate relating candidate MBBs to it. An object matches the plan when
+/// it matches every term.
 template <int D>
-struct Query {
-  QueryType type = QueryType::kRange;
-  RangePredicate predicate = RangePredicate::kIntersects;
-  /// kRange / kCount: the query box.
+struct ConjunctiveTerm {
   Box<D> box;
+  RangePredicate predicate = RangePredicate::kIntersects;
+};
+
+/// Aborts with a clear message on an invalid query description or a
+/// misrouted execution — construction-time validation instead of silent
+/// misbehaviour inside dispatch.
+[[noreturn]] inline void QueryApiAbort(const char* msg) {
+  std::fprintf(stderr, "quasii query API: %s\n", msg);
+  std::abort();
+}
+
+/// The driver of a conjunctive plan: the term whose box has the smallest
+/// volume generates the candidates (the first minimal term wins, so the
+/// choice is deterministic); every other term filters the candidates
+/// exactly. Any term is a sound driver — containment predicates imply
+/// intersection and each index executes all three predicates exactly — the
+/// volume rule is purely a cost heuristic. Shared by `SpatialIndex`'s
+/// dispatch and by the adaptive indexes' `ConvergedFor` replays so both
+/// route identically.
+template <int D>
+std::size_t ConjunctionDriverIndex(
+    const std::vector<ConjunctiveTerm<D>>& terms) {
+  std::size_t best = 0;
+  double best_volume = terms[0].box.Volume();
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    const double v = terms[i].box.Volume();
+    if (v < best_volume) {
+      best = i;
+      best_volume = v;
+    }
+  }
+  return best;
+}
+
+/// A typed query description, consumed by `SpatialIndex::Execute`.
+/// Construction is factory-only: the `Make*`/`Try*` statics (or the free
+/// `RangeQuery`/`PointQuery`/`CountQuery`/`KNearestQuery`/`JoinQuery`/
+/// `ConjunctiveQuery` wrappers) validate every description up front, so a
+/// malformed query — a `k == 0` kNN, a join without a second set, a
+/// conjunction without terms — fails at construction with a clear error
+/// instead of inside dispatch. `Try*` variants return `std::nullopt`
+/// instead of aborting, for callers that validate user input.
+template <int D>
+class Query {
+ public:
+  /// A default-constructed query is a valid degenerate range: its empty box
+  /// matches nothing. Exists so op streams and containers can
+  /// default-construct and overwrite; every meaningful query comes from a
+  /// factory.
+  Query() = default;
+
+  QueryType type() const { return type_; }
+  RangePredicate predicate() const { return predicate_; }
+  /// kRange / kCount: the query box.
+  const Box<D>& box() const { return box_; }
   /// kPoint / kKNearest: the query point.
-  Point<D> point{};
-  /// kKNearest: number of neighbors requested.
-  std::size_t k = 0;
+  const Point<D>& point() const { return point_; }
+  /// kKNearest: number of neighbors requested (>= 1 by construction).
+  std::size_t k() const { return k_; }
+  /// kJoin: the right-hand index (the executing index itself on a
+  /// self-join); null on stream joins.
+  SpatialIndex<D>* join_other() const { return join_other_; }
+  /// kJoin: the right-hand box stream (pair right ids are stream
+  /// positions); null on index-vs-index joins.
+  const std::vector<Box<D>>* join_stream() const { return join_stream_; }
+  /// kConjunction: the ANDed terms (at least one by construction).
+  const std::vector<ConjunctiveTerm<D>>& terms() const { return terms_; }
+
+  static Query MakeRange(const Box<D>& box, RangePredicate predicate) {
+    Query q;
+    q.type_ = QueryType::kRange;
+    q.predicate_ = predicate;
+    q.box_ = box;
+    return q;
+  }
+
+  static Query MakePoint(const Point<D>& point) {
+    Query q;
+    q.type_ = QueryType::kPoint;
+    q.point_ = point;
+    return q;
+  }
+
+  static Query MakeCount(const Box<D>& box, RangePredicate predicate) {
+    Query q;
+    q.type_ = QueryType::kCount;
+    q.predicate_ = predicate;
+    q.box_ = box;
+    return q;
+  }
+
+  static std::optional<Query> TryKNearest(const Point<D>& point,
+                                          std::size_t k) {
+    if (k == 0) return std::nullopt;
+    Query q;
+    q.type_ = QueryType::kKNearest;
+    q.point_ = point;
+    q.k_ = k;
+    return q;
+  }
+
+  static Query MakeKNearest(const Point<D>& point, std::size_t k) {
+    auto q = TryKNearest(point, k);
+    if (!q) QueryApiAbort("kNearest query requires k >= 1");
+    return *std::move(q);
+  }
+
+  static std::optional<Query> TryJoin(SpatialIndex<D>* other) {
+    if (other == nullptr) return std::nullopt;
+    Query q;
+    q.type_ = QueryType::kJoin;
+    q.join_other_ = other;
+    return q;
+  }
+
+  /// Index-vs-index join; pass the executing index itself for a self-join.
+  static Query MakeJoin(SpatialIndex<D>& other) {
+    return *TryJoin(&other);
+  }
+
+  static std::optional<Query> TryJoin(const std::vector<Box<D>>* stream) {
+    if (stream == nullptr) return std::nullopt;
+    Query q;
+    q.type_ = QueryType::kJoin;
+    q.join_stream_ = stream;
+    return q;
+  }
+
+  /// Index-vs-stream join: `stream` is borrowed and must outlive every
+  /// `Execute` of this query. Empty boxes in the stream match nothing.
+  static Query MakeJoin(const std::vector<Box<D>>& stream) {
+    return *TryJoin(&stream);
+  }
+
+  static std::optional<Query> TryConjunction(
+      std::vector<ConjunctiveTerm<D>> terms) {
+    if (terms.empty()) return std::nullopt;
+    Query q;
+    q.type_ = QueryType::kConjunction;
+    q.terms_ = std::move(terms);
+    return q;
+  }
+
+  static Query MakeConjunction(std::vector<ConjunctiveTerm<D>> terms) {
+    auto q = TryConjunction(std::move(terms));
+    if (!q) QueryApiAbort("conjunctive query requires at least one term");
+    return *std::move(q);
+  }
+
+ private:
+  QueryType type_ = QueryType::kRange;
+  RangePredicate predicate_ = RangePredicate::kIntersects;
+  Box<D> box_;
+  Point<D> point_{};
+  std::size_t k_ = 0;
+  SpatialIndex<D>* join_other_ = nullptr;
+  const std::vector<Box<D>>* join_stream_ = nullptr;
+  std::vector<ConjunctiveTerm<D>> terms_;
 };
 
 using Query2 = Query<2>;
@@ -55,38 +217,60 @@ using Query3 = Query<3>;
 template <int D>
 Query<D> RangeQuery(const Box<D>& box,
                     RangePredicate predicate = RangePredicate::kIntersects) {
-  Query<D> q;
-  q.type = QueryType::kRange;
-  q.predicate = predicate;
-  q.box = box;
-  return q;
+  return Query<D>::MakeRange(box, predicate);
 }
 
 template <int D>
 Query<D> PointQuery(const Point<D>& point) {
-  Query<D> q;
-  q.type = QueryType::kPoint;
-  q.point = point;
-  return q;
+  return Query<D>::MakePoint(point);
 }
 
 template <int D>
 Query<D> CountQuery(const Box<D>& box,
                     RangePredicate predicate = RangePredicate::kIntersects) {
-  Query<D> q;
-  q.type = QueryType::kCount;
-  q.predicate = predicate;
-  q.box = box;
-  return q;
+  return Query<D>::MakeCount(box, predicate);
 }
 
 template <int D>
 Query<D> KNearestQuery(const Point<D>& point, std::size_t k) {
-  Query<D> q;
-  q.type = QueryType::kKNearest;
-  q.point = point;
-  q.k = k;
-  return q;
+  return Query<D>::MakeKNearest(point, k);
+}
+
+/// All intersecting (left, right) pairs between the executing index and
+/// `other` — pass the executing index itself for a self-join (each
+/// unordered pair reported once, never `(id, id)`).
+template <int D>
+Query<D> JoinQuery(SpatialIndex<D>& other) {
+  return Query<D>::MakeJoin(other);
+}
+
+/// All intersecting (left id, stream position) pairs between the executing
+/// index and a borrowed box stream.
+template <int D>
+Query<D> JoinQuery(const std::vector<Box<D>>& stream) {
+  return Query<D>::MakeJoin(stream);
+}
+
+template <int D>
+Query<D> ConjunctiveQuery(std::vector<ConjunctiveTerm<D>> terms) {
+  return Query<D>::MakeConjunction(std::move(terms));
+}
+
+/// The box that drives a query's single-index descent — what the adaptive
+/// indexes replay in `ConvergedFor`: the query box for ranges/counts,
+/// `[p, p]` for point probes, the driver term's box for conjunctions. Must
+/// mirror `SpatialIndex`'s dispatch exactly. Not meaningful for kKNearest
+/// or kJoin (their replays answer before needing a box).
+template <int D>
+Box<D> DescentBox(const Query<D>& q) {
+  switch (q.type()) {
+    case QueryType::kPoint:
+      return Box<D>(q.point(), q.point());
+    case QueryType::kConjunction:
+      return q.terms()[ConjunctionDriverIndex(q.terms())].box;
+    default:
+      return q.box();
+  }
 }
 
 /// The exact refinement test of a range/count query.
@@ -130,8 +314,8 @@ class Sink {
   virtual void AddMatches(std::uint64_t n) = 0;
 };
 
-/// Collects ids into a caller-owned vector — the sink behind the legacy
-/// `Query()` shim.
+/// Collects ids into a caller-owned vector — the general-purpose sink of
+/// tests and measurement loops.
 class VectorSink final : public Sink {
  public:
   explicit VectorSink(std::vector<ObjectId>* out) : out_(out) {}
@@ -157,6 +341,85 @@ class CountSink final : public Sink {
 
  private:
   std::uint64_t count_ = 0;
+};
+
+/// An ordered join result pair: `first` identifies an object of the
+/// executing (left) index, `second` an object of the right-hand set — the
+/// partner index's object id, or the stream position on stream joins.
+using IdPair = std::pair<ObjectId, ObjectId>;
+
+/// Result sink of join execution (`Execute(query, PairSink&)`). Pairs
+/// arrive canonicalized: unique, in ascending (left, right) order, and on
+/// self-joins normalized to `left < right` — so every implementation
+/// reports the bit-identical pair sequence for the same inputs.
+class PairSink {
+ public:
+  virtual ~PairSink() = default;
+
+  /// One qualifying pair.
+  virtual void EmitPair(ObjectId left, ObjectId right) = 0;
+};
+
+/// Collects pairs into a caller-owned vector.
+class VectorPairSink final : public PairSink {
+ public:
+  explicit VectorPairSink(std::vector<IdPair>* out) : out_(out) {}
+  void EmitPair(ObjectId left, ObjectId right) override {
+    out_->emplace_back(left, right);
+  }
+
+ private:
+  std::vector<IdPair>* out_;
+};
+
+/// Counts pairs without storing them.
+class CountPairSink final : public PairSink {
+ public:
+  void EmitPair(ObjectId, ObjectId) override { ++count_; }
+  std::uint64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Collects the raw candidate pairs of one join execution and
+/// canonicalizes them at `Flush` — the single home of the join determinism
+/// guarantee. Implementations `Add` pairs in whatever order their traversal
+/// produces (including duplicates, and both orientations of a self-join
+/// pair); `Flush` normalizes self-join pairs to (min, max) and drops the
+/// `(id, id)` diagonal, sorts lexicographically, deduplicates, and streams
+/// the survivors to the `PairSink`. Call `Flush` exactly once, at the end
+/// of the execution.
+class JoinEmitter {
+ public:
+  JoinEmitter(bool self_join, PairSink* sink)
+      : self_join_(self_join), sink_(sink) {}
+
+  /// One candidate pair (already exact — implementations only `Add` pairs
+  /// whose boxes truly intersect).
+  void Add(ObjectId left, ObjectId right) { pairs_.emplace_back(left, right); }
+
+  void Flush() {
+    if (self_join_) {
+      std::size_t m = 0;
+      for (const IdPair& p : pairs_) {
+        if (p.first == p.second) continue;
+        pairs_[m++] = {std::min(p.first, p.second),
+                       std::max(p.first, p.second)};
+      }
+      pairs_.resize(m);
+    }
+    std::sort(pairs_.begin(), pairs_.end());
+    pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+    for (const IdPair& p : pairs_) sink_->EmitPair(p.first, p.second);
+    pairs_.clear();
+  }
+
+ private:
+  bool self_join_;
+  PairSink* sink_;
+  std::vector<IdPair> pairs_;
 };
 
 /// Streams or counts the matches of one box execution — the single home of

@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <string_view>
@@ -36,9 +37,10 @@ using Entry3 = Entry<3>;
 ///   2. call `Build()` once — static indexes pay their pre-processing cost
 ///      here, incremental ones return immediately;
 ///   3. call `Execute()` repeatedly with typed queries (range with a
-///      topological predicate, point, count, k-nearest), streaming results
-///      into a `Sink`. Incremental indexes reorganize internal state as a
-///      side effect, which is why `Execute` is non-const;
+///      topological predicate, point, count, k-nearest, conjunctive plans),
+///      streaming results into a `Sink` — or, for joins, into a `PairSink`
+///      via the pair overload. Incremental indexes reorganize internal
+///      state as a side effect, which is why `Execute` is non-const;
 ///   4. interleave `Insert(id, box)` / `Erase(id)` freely with queries —
 ///      the store enforces the roster-wide mutation semantics (insert only
 ///      non-live ids, erase only live ones, reinsert-after-erase allowed)
@@ -53,16 +55,23 @@ using Entry3 = Entry<3>;
 /// shared side. Static indexes are read-safe as soon as they are built;
 /// adaptive indexes (QUASII, SFCracker, Mosaic) serialize while the query
 /// would still crack/split and downgrade to shared mode once the touched
-/// region has converged. `Build()` and the stats accessors are NOT
-/// thread-safe — call them while no query is in flight.
+/// region has converged. An index-vs-index join locks BOTH indexes (in a
+/// global address order, so concurrent A⋈B and B⋈A cannot deadlock) and
+/// runs shared only when both sides' `ConvergedFor` agree. `Build()` and
+/// the stats accessors are NOT thread-safe — call them while no query is in
+/// flight.
 ///
 /// `Execute` normalizes the query — empty boxes short-circuit (an inverted
 /// box matches nothing and must not trigger reorganization), a point query
-/// becomes the zero-extent closed range `[p, p]` — and dispatches to the two
-/// per-index primitives: `ExecuteBox` (range/point/count; `count_only`
-/// switches the leaf paths to anonymous `Sink::AddMatches` so no id is ever
-/// materialized) and `ExecuteKNearest` (results emitted in ascending
-/// (distance, id) order).
+/// becomes the zero-extent closed range `[p, p]`, a conjunctive plan routes
+/// its smallest-volume term as the driver descent — and dispatches to the
+/// two per-index primitives: `ExecuteBox` (range/point/count/conjunction;
+/// `count_only` switches the leaf paths to anonymous `Sink::AddMatches` so
+/// no id is ever materialized) and `ExecuteKNearest` (results emitted in
+/// ascending (distance, id) order). Joins dispatch to `ExecuteJoin` /
+/// `ExecuteStreamJoin`, which default to index-nested-loop probes through
+/// `ExecuteBox` — so every index joins correctly out of the box, and
+/// adaptive ones crack from the probe traffic.
 template <int D>
 class SpatialIndex {
  public:
@@ -79,9 +88,11 @@ class SpatialIndex {
   /// index state (beyond the caller's own stats shard) — the predicate that
   /// routes `Execute` to the shared (concurrent) side of the lock. Static
   /// indexes answer true once built; adaptive indexes answer true when the
-  /// query's descent would touch only converged structure. Only meaningful
-  /// under at least the shared lock (i.e. from inside `Execute`) or while
-  /// no other thread is mutating; conservative `false` is always correct.
+  /// query's descent would touch only converged structure. For `kJoin` the
+  /// answer covers only this side's structure — `Execute` asks both
+  /// participants before running a join shared. Only meaningful under at
+  /// least the shared lock (i.e. from inside `Execute`) or while no other
+  /// thread is mutating; conservative `false` is always correct.
   virtual bool ConvergedFor(const Query<D>& query) const {
     (void)query;
     return false;
@@ -112,22 +123,30 @@ class SpatialIndex {
   /// The index's view of the object population (live set, boxes, bounds).
   const ObjectStore<D>& store() const { return store_; }
 
-  /// Typed query execution: the one entry point every query type funnels
-  /// through. Thread-safe (see the class comment): tries the shared lock
-  /// first and falls back to exclusive when `ConvergedFor` declines.
-  virtual void Execute(const quasii::Query<D>& query, Sink& sink) {
+  /// Typed query execution: the one entry point every id-producing query
+  /// funnels through (joins produce pairs — use the `PairSink` overload).
+  /// Thread-safe (see the class comment): tries the shared lock first and
+  /// falls back to exclusive when `ConvergedFor` declines.
+  virtual void Execute(const Query<D>& query, Sink& sink) {
     // Degenerate queries resolve to nothing without touching (or locking)
     // any structure: an inverted box matches nothing and must not trigger
-    // reorganization.
-    switch (query.type) {
+    // reorganization. (Malformed descriptions — k == 0, empty plans — are
+    // unrepresentable: Query construction is factory-validated.)
+    switch (query.type()) {
       case QueryType::kRange:
       case QueryType::kCount:
-        if (query.box.IsEmpty()) return;
+        if (query.box().IsEmpty()) return;
         break;
-      case QueryType::kKNearest:
-        if (query.k == 0) return;
+      case QueryType::kConjunction:
+        for (const ConjunctiveTerm<D>& term : query.terms()) {
+          if (term.box.IsEmpty()) return;
+        }
         break;
+      case QueryType::kJoin:
+        QueryApiAbort(
+            "joins emit pairs; use the Execute(query, PairSink&) overload");
       case QueryType::kPoint:
+      case QueryType::kKNearest:
         break;
     }
     {
@@ -158,12 +177,70 @@ class SpatialIndex {
     Dispatch(query, sink);
   }
 
-  /// Legacy single-shot API: appends to `*result` the ids of all objects
-  /// whose MBB intersects `q` (order unspecified, ids unique). A thin shim
-  /// over `Execute` kept so pre-engine callers keep compiling.
-  void Query(const Box<D>& q, std::vector<ObjectId>* result) {
-    VectorSink sink(result);
-    Execute(RangeQuery<D>(q), sink);
+  /// Join execution: streams every qualifying pair into `sink` in canonical
+  /// order (unique, ascending (left, right); self-joins report each
+  /// unordered pair once and never `(id, id)` — see `JoinEmitter`).
+  /// Thread-safe: an index-vs-index join locks both participants in global
+  /// address order and runs shared only when both sides' `ConvergedFor`
+  /// approve; otherwise both are locked exclusively so the adaptive
+  /// implementations may crack either side.
+  virtual void Execute(const Query<D>& query, PairSink& sink) {
+    if (query.type() != QueryType::kJoin) {
+      QueryApiAbort(
+          "only joins emit pairs; use the Execute(query, Sink&) overload");
+    }
+    if (const std::vector<Box<D>>* stream = query.join_stream()) {
+      JoinEmitter emit(/*self_join=*/false, &sink);
+      {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (ConvergedFor(query)) {
+          ExecuteStreamJoin(*stream, emit);
+          emit.Flush();
+          return;
+        }
+      }
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      ExecuteStreamJoin(*stream, emit);
+      emit.Flush();
+      return;
+    }
+    SpatialIndex<D>* other = query.join_other();
+    const bool self = (other == this);
+    JoinEmitter emit(self, &sink);
+    // Global address order makes concurrent A⋈B and B⋈A acquire the two
+    // locks in the same sequence — no deadlock.
+    SpatialIndex<D>* first = this;
+    SpatialIndex<D>* second = other;
+    if (std::less<SpatialIndex<D>*>{}(second, first)) std::swap(first, second);
+    {
+      std::shared_lock<std::shared_mutex> lock1(first->mutex_);
+      std::shared_lock<std::shared_mutex> lock2;
+      if (!self) lock2 = std::shared_lock<std::shared_mutex>(second->mutex_);
+      if (ConvergedFor(query) && (self || other->ConvergedFor(query))) {
+#ifndef NDEBUG
+        const std::uint64_t cracks_before = stats_.Local().cracks;
+        const std::uint64_t moved_before = stats_.Local().objects_moved;
+        const std::uint64_t other_cracks_before = other->stats_.Local().cracks;
+        const std::uint64_t other_moved_before =
+            other->stats_.Local().objects_moved;
+#endif
+        ExecuteJoin(*other, emit);
+        emit.Flush();
+#ifndef NDEBUG
+        assert(stats_.Local().cracks == cracks_before &&
+               stats_.Local().objects_moved == moved_before &&
+               other->stats_.Local().cracks == other_cracks_before &&
+               other->stats_.Local().objects_moved == other_moved_before &&
+               "ConvergedFor approved a join that reorganized");
+#endif
+        return;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock1(first->mutex_);
+    std::unique_lock<std::shared_mutex> lock2;
+    if (!self) lock2 = std::unique_lock<std::shared_mutex>(second->mutex_);
+    ExecuteJoin(*other, emit);
+    emit.Flush();
   }
 
   /// Cumulative work counters since construction, merged over every
@@ -209,6 +286,49 @@ class SpatialIndex {
   virtual void ExecuteKNearest(const Point<D>& pt, std::size_t k,
                                Sink& sink) = 0;
 
+  /// Index-vs-index join body: `Add` every pair (left id from this index,
+  /// right id from `other`) whose MBBs intersect. `other` may be `*this`
+  /// (self-join); canonicalization — ordering, dedup, diagonal removal —
+  /// happens in the emitter's `Flush`, which the caller owns. Default is
+  /// the generic index-nested-loop: probe this index with every live box of
+  /// `other`, so any index pair joins correctly and adaptive left sides
+  /// crack from the probe traffic. Overrides provide the synchronized
+  /// traversals (R-Tree node-pair descent, QUASII's both-sides crack-driven
+  /// descent) when `other` is of their own type.
+  virtual void ExecuteJoin(SpatialIndex<D>& other, JoinEmitter& emit) {
+    other.store_.ForEachLive([&](ObjectId rid, const Box<D>& b) {
+      ProbeJoinLeft(b, rid, &emit);
+    });
+  }
+
+  /// Index-vs-stream join body: `Add` every pair (left id from this index,
+  /// stream position) whose MBBs intersect. Empty stream boxes match
+  /// nothing. Default: one probe per stream box.
+  virtual void ExecuteStreamJoin(const std::vector<Box<D>>& stream,
+                                 JoinEmitter& emit) {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      ProbeJoinLeft(stream[i], static_cast<ObjectId>(i), &emit);
+    }
+  }
+
+  /// Probes this index with `box` and records each hit as the pair
+  /// (hit, right_id) — the building block of nested-loop joins where this
+  /// index is the left side.
+  void ProbeJoinLeft(const Box<D>& box, ObjectId right_id, JoinEmitter* emit) {
+    if (box.IsEmpty()) return;
+    ProbePairSink probe(emit, right_id, /*hit_is_left=*/true);
+    ExecuteBox(box, RangePredicate::kIntersects, /*count_only=*/false, probe);
+  }
+
+  /// Probes this index with `box` and records each hit as the pair
+  /// (left_id, hit) — for nested-loop legs where this index is the right
+  /// side (e.g. a partner's overflow rows probed against this structure).
+  void ProbeJoinRight(const Box<D>& box, ObjectId left_id, JoinEmitter* emit) {
+    if (box.IsEmpty()) return;
+    ProbePairSink probe(emit, left_id, /*hit_is_left=*/false);
+    ExecuteBox(box, RangePredicate::kIntersects, /*count_only=*/false, probe);
+  }
+
   /// Shared `ExecuteKNearest` body for indexes without a dedicated
   /// nearest-neighbor traversal: expanding-ring range probes through this
   /// index's own `ExecuteBox` (so incremental indexes keep reorganizing
@@ -236,25 +356,99 @@ class SpatialIndex {
   ShardedQueryStats stats_;
 
  private:
+  /// Adapts a box execution into join pairs: each emitted id pairs with the
+  /// fixed partner id, on the side `hit_is_left` selects.
+  class ProbePairSink final : public Sink {
+   public:
+    ProbePairSink(JoinEmitter* emit, ObjectId fixed, bool hit_is_left)
+        : emit_(emit), fixed_(fixed), hit_is_left_(hit_is_left) {}
+    void Emit(ObjectId id) override {
+      if (hit_is_left_) {
+        emit_->Add(id, fixed_);
+      } else {
+        emit_->Add(fixed_, id);
+      }
+    }
+    void AddMatches(std::uint64_t) override {}
+
+   private:
+    JoinEmitter* emit_;
+    ObjectId fixed_;
+    bool hit_is_left_;
+  };
+
+  /// Filters a driver descent's candidates through the remaining terms of a
+  /// conjunctive plan — the exact refinement the driver's own predicate
+  /// check does not cover.
+  class ConjunctionFilterSink final : public Sink {
+   public:
+    ConjunctionFilterSink(const ObjectStore<D>* store,
+                          const std::vector<ConjunctiveTerm<D>>* terms,
+                          std::size_t driver, Sink* out)
+        : store_(store), terms_(terms), driver_(driver), out_(out) {}
+    void Emit(ObjectId id) override {
+      const Box<D>& b = store_->box(id);
+      for (std::size_t t = 0; t < terms_->size(); ++t) {
+        if (t == driver_) continue;
+        if (!MatchesPredicate(b, (*terms_)[t].box, (*terms_)[t].predicate)) {
+          return;
+        }
+      }
+      out_->Emit(id);
+    }
+    void AddMatches(std::uint64_t n) override { out_->AddMatches(n); }
+
+   private:
+    const ObjectStore<D>* store_;
+    const std::vector<ConjunctiveTerm<D>>* terms_;
+    std::size_t driver_;
+    Sink* out_;
+  };
+
+  /// Conjunctive plan execution: one descent with the smallest-volume term
+  /// (sound for any driver — containment implies intersection and every
+  /// index executes all three predicates exactly; the volume rule is just
+  /// the cost heuristic), remaining terms applied as exact per-candidate
+  /// filters. Never count-only: the filter needs ids, so count consumers
+  /// simply count the emitted stream.
+  void ExecuteConjunction(const std::vector<ConjunctiveTerm<D>>& terms,
+                          Sink& sink) {
+    const std::size_t driver = ConjunctionDriverIndex(terms);
+    if (terms.size() == 1) {
+      ExecuteBox(terms[driver].box, terms[driver].predicate,
+                 /*count_only=*/false, sink);
+      return;
+    }
+    ConjunctionFilterSink filter(&store_, &terms, driver, &sink);
+    ExecuteBox(terms[driver].box, terms[driver].predicate,
+               /*count_only=*/false, filter);
+  }
+
   /// The locked body of `Execute`: type dispatch to the per-index
   /// primitives. The caller holds the lock side `ConvergedFor` selected.
-  void Dispatch(const quasii::Query<D>& query, Sink& sink) {
-    switch (query.type) {
+  void Dispatch(const Query<D>& query, Sink& sink) {
+    switch (query.type()) {
       case QueryType::kRange:
-        ExecuteBox(query.box, query.predicate, /*count_only=*/false, sink);
+        ExecuteBox(query.box(), query.predicate(), /*count_only=*/false,
+                   sink);
         return;
       case QueryType::kPoint: {
-        const Box<D> point_box(query.point, query.point);
+        const Box<D> point_box(query.point(), query.point());
         ExecuteBox(point_box, RangePredicate::kIntersects,
                    /*count_only=*/false, sink);
         return;
       }
       case QueryType::kCount:
-        ExecuteBox(query.box, query.predicate, /*count_only=*/true, sink);
+        ExecuteBox(query.box(), query.predicate(), /*count_only=*/true, sink);
         return;
       case QueryType::kKNearest:
-        ExecuteKNearest(query.point, query.k, sink);
+        ExecuteKNearest(query.point(), query.k(), sink);
         return;
+      case QueryType::kConjunction:
+        ExecuteConjunction(query.terms(), sink);
+        return;
+      case QueryType::kJoin:
+        return;  // Routed to the PairSink overload before dispatch.
     }
   }
 

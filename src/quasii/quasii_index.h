@@ -54,7 +54,11 @@ namespace quasii {
 ///  - count queries descend and crack exactly like ranges but resolve
 ///    leaves via anonymous `AddMatches` — the id column is never read;
 ///  - kNN runs an expanding ring of range probes through the normal descent,
-///    so nearest-neighbor workloads build the index too.
+///    so nearest-neighbor workloads build the index too;
+///  - joins against another QUASII index descend both slice hierarchies in
+///    lockstep, cracking each side at the other's slice bounds before
+///    walking the overlapping slice pairs — so both indexes converge from
+///    join traffic alone (see `JoinVisit`).
 ///
 /// Mutations are handled incrementally, in the spirit of the paper's
 /// query-driven refinement:
@@ -128,19 +132,23 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// and a read-only replay of the descent touches only slices that are
   /// within their level threshold or frozen, and (above the leaf level)
   /// already have children to descend into. kNN stays conservative: its
-  /// expanding ring probes regions the triggering query never names.
+  /// expanding ring probes regions the triggering query never names. A
+  /// join touches the whole structure and cracks wherever the partner has
+  /// slice bounds, so it replays an unbounded descent: only full
+  /// convergence guarantees a join is a pure read of this side.
   bool ConvergedFor(const Query<D>& query) const override {
     if (!initialized_) return false;
-    if (query.type == QueryType::kKNearest) return false;
+    if (query.type() == QueryType::kKNearest) return false;
     if (array_.pending_count() > 0) return false;
     const std::size_t dead = array_.tombstones();
     if (dead >= kMinCompactTombstones && dead * 4 >= array_.size()) {
       return false;  // the next ExecuteBox will compact
     }
     if (array_.empty()) return true;
-    const Box<D> box = query.type == QueryType::kPoint
-                           ? Box<D>(query.point, query.point)
-                           : query.box;
+    if (query.type() == QueryType::kJoin) {
+      return SlicesConverged(root_, Box<D>::Infinite());
+    }
+    const Box<D> box = DescentBox(query);
     if (box.IsEmpty()) return true;
     Box<D> ext;
     for (int d = 0; d < D; ++d) {
@@ -173,9 +181,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
 
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
-    if (!initialized_) Initialize();
-    MaybeCompact();
-    AbsorbPending();
+    PrepareArray();
     if (array_.empty()) return;
     // Half-open extended query: `[lo, hi)` per dimension covers every centre
     // key of an object whose MBB can intersect `q` (centre-based assignment
@@ -202,6 +208,28 @@ class QuasiiIndex final : public SpatialIndex<D> {
     this->RingKNearest(pt, k, sink);
   }
 
+  /// The crack-driven join (the two-set extension of the paper's
+  /// query-driven refinement): when the partner is a QUASII index too, both
+  /// slice hierarchies are descended in lockstep and each side is cracked
+  /// at the other side's slice bounds before the overlapping slice pairs
+  /// are walked — the join itself is the workload that converges both
+  /// structures, and a repeated join runs crack-free over the slices the
+  /// first one carved. Any other partner falls back to the base class's
+  /// index-nested-loop (whose probes still crack this side). Self-joins
+  /// descend the one hierarchy against itself; pair canonicalization
+  /// (unordered-once, no diagonal) lives in the emitter's flush.
+  void ExecuteJoin(SpatialIndex<D>& other_base, JoinEmitter& emit) override {
+    auto* other = dynamic_cast<QuasiiIndex<D>*>(&other_base);
+    if (other == nullptr) {
+      SpatialIndex<D>::ExecuteJoin(other_base, emit);
+      return;
+    }
+    PrepareArray();
+    if (other != this) other->PrepareArray();
+    if (array_.empty() || other->array_.empty()) return;
+    JoinVisit(other, &root_, &other->root_, emit);
+  }
+
  private:
   /// Box-execution context (see `SpatialIndex::ExecuteBox` for the shared
   /// contract); threaded through the recursive slice descent.
@@ -210,6 +238,33 @@ class QuasiiIndex final : public SpatialIndex<D> {
     RangePredicate predicate;
     MatchEmitter* emit;
   };
+
+  /// Adapts a partner-slice `StreamScan` into join pairs: every id the scan
+  /// emits pairs with the currently fixed left-side object.
+  class LeftFixedSink final : public Sink {
+   public:
+    explicit LeftFixedSink(JoinEmitter* emit) : emit_(emit) {}
+    void set_left(ObjectId left) { left_ = left; }
+    void Emit(ObjectId id) override { emit_->Add(left_, id); }
+    void EmitRun(const ObjectId* ids, std::size_t n) override {
+      for (std::size_t i = 0; i < n; ++i) emit_->Add(left_, ids[i]);
+    }
+    void AddMatches(std::uint64_t) override {}
+
+   private:
+    JoinEmitter* emit_;
+    ObjectId left_ = 0;
+  };
+
+  /// The shared entry ritual of every reorganizing execution: first-query
+  /// initialization, tombstone compaction when due, and promotion of the
+  /// pending insert tail into the slice hierarchy. A no-op (pure read) when
+  /// `ConvergedFor` already approved the triggering query.
+  void PrepareArray() {
+    if (!initialized_) Initialize();
+    MaybeCompact();
+    AbsorbPending();
+  }
 
   /// Read-only replay of `Visit`'s routing decisions: false as soon as some
   /// touched slice would be refined or would materialize a first child.
@@ -491,16 +546,150 @@ class QuasiiIndex final : public SpatialIndex<D> {
                         ctx.emit);
       return;
     }
-    if (s->children.empty()) {
-      Slice child;
-      child.level = d + 1;
-      child.begin = s->begin;
-      child.end = s->end;
-      child.lo = -std::numeric_limits<Scalar>::infinity();
-      child.hi = std::numeric_limits<Scalar>::infinity();
-      s->children.push_back(std::move(child));
-    }
+    EnsureChild(s);
     Visit(&s->children, ctx, ext, covered);
+  }
+
+  /// Materializes a non-leaf slice's single open child (the lazy first
+  /// level-(d+1) slice covering the whole range) if none exists yet.
+  void EnsureChild(Slice* s) {
+    if (!s->children.empty()) return;
+    Slice child;
+    child.level = s->level + 1;
+    child.begin = s->begin;
+    child.end = s->end;
+    child.lo = -std::numeric_limits<Scalar>::infinity();
+    child.hi = std::numeric_limits<Scalar>::infinity();
+    s->children.push_back(std::move(child));
+  }
+
+  /// The value intervals of one level's live slices — the crack targets the
+  /// join partner refines against. Skips empty slices and the parked-dead
+  /// ones (`lo == hi == +inf`).
+  static std::vector<std::pair<Scalar, Scalar>> SliceIntervals(
+      const std::vector<Slice>& slices) {
+    std::vector<std::pair<Scalar, Scalar>> out;
+    out.reserve(slices.size());
+    for (const Slice& s : slices) {
+      if (s.size() == 0 || s.lo >= s.hi) continue;
+      out.emplace_back(s.lo, s.hi);
+    }
+    return out;
+  }
+
+  /// The crack half of the join descent: refines this index's level list
+  /// against the interval `[lo, hi)` — a partner slice's value range,
+  /// pre-extended by the combined half extents — exactly like a query
+  /// descent would (crack at the interval bounds, median-split the covered
+  /// middle to threshold), but without scanning anything. Must be called on
+  /// the index that owns `slices` (it uses that index's array, thresholds,
+  /// scratch, and stats shard).
+  void RefineForJoin(std::vector<Slice>* slices, Scalar lo, Scalar hi) {
+    if (slices->empty()) return;
+    const int d = slices->front().level;
+    Box<D> ext = Box<D>::Infinite();
+    ext.lo[d] = lo;
+    ext.hi[d] = hi;
+    std::vector<Slice>& rebuilt = visit_scratch_[static_cast<std::size_t>(d)];
+    bool rebuilding = false;
+    for (std::size_t i = 0; i < slices->size(); ++i) {
+      Slice& s = (*slices)[i];
+      const bool outside = s.size() == 0 || s.lo >= hi || s.hi <= lo;
+      if (!outside && s.size() > threshold_[static_cast<std::size_t>(d)] &&
+          !s.frozen) {
+        if (!rebuilding) {
+          rebuilding = true;
+          rebuilt.clear();
+          rebuilt.reserve(slices->size() + 8);
+          for (std::size_t j = 0; j < i; ++j) {
+            rebuilt.push_back(std::move((*slices)[j]));
+          }
+        }
+        std::vector<Slice>& pieces = Refine(std::move(s), ext);
+        for (Slice& piece : pieces) {
+          rebuilt.push_back(std::move(piece));
+        }
+      } else if (rebuilding) {
+        rebuilt.push_back(std::move(s));
+      }
+    }
+    if (rebuilding) {
+      slices->swap(rebuilt);
+      rebuilt.clear();  // drop the moved-from originals, keep the capacity
+    }
+  }
+
+  /// One level of the lockstep join descent over two slice lists (of this
+  /// index and `other`; for a self-join both may be the *same* list).
+  /// First each side is cracked against a pre-refinement snapshot of the
+  /// other side's slice intervals — the snapshot keeps the cross-refinement
+  /// from chasing the partner's freshly carved slices, and makes the
+  /// self-join refine once instead of twice. Then every overlapping slice
+  /// pair is walked: leaf pairs scan, inner pairs descend into their child
+  /// lists. Two slices can hold intersecting objects only when their value
+  /// intervals come within the combined half extents `h` of each other —
+  /// and `sa.hi > sb.lo - h && sb.hi > sa.lo - h` is false for the parked
+  /// dead slices (`lo == hi == +inf`), so they are skipped for free. On a
+  /// self-join over one list the inner walk starts at `j = i`: the pair
+  /// (slice_i, slice_j) already covers both orientations after the
+  /// emitter's normalization, so `j < i` would only produce duplicates.
+  void JoinVisit(QuasiiIndex<D>* other, std::vector<Slice>* mine,
+                 std::vector<Slice>* theirs, JoinEmitter& emit) {
+    if (mine->empty() || theirs->empty()) return;
+    const int d = mine->front().level;
+    const Scalar h = half_extent_[d] + other->half_extent_[d];
+    const bool same_list = (mine == theirs);
+    const std::vector<std::pair<Scalar, Scalar>> their_iv =
+        SliceIntervals(*theirs);
+    if (!same_list) {
+      const std::vector<std::pair<Scalar, Scalar>> my_iv =
+          SliceIntervals(*mine);
+      for (const auto& iv : their_iv) {
+        RefineForJoin(mine, iv.first - h, iv.second + h);
+      }
+      for (const auto& iv : my_iv) {
+        other->RefineForJoin(theirs, iv.first - h, iv.second + h);
+      }
+    } else {
+      for (const auto& iv : their_iv) {
+        RefineForJoin(mine, iv.first - h, iv.second + h);
+      }
+    }
+    for (std::size_t i = 0; i < mine->size(); ++i) {
+      Slice& sa = (*mine)[i];
+      if (sa.size() == 0) continue;
+      for (std::size_t j = same_list ? i : 0; j < theirs->size(); ++j) {
+        Slice& sb = (*theirs)[j];
+        if (sb.size() == 0) continue;
+        if (!(sa.hi > sb.lo - h && sb.hi > sa.lo - h)) continue;
+        ++this->Stats().partitions_visited;
+        if (d == D - 1) {
+          LeafJoin(other, sa, sb, emit);
+        } else {
+          EnsureChild(&sa);
+          other->EnsureChild(&sb);
+          JoinVisit(other, &sa.children, &sb.children, emit);
+        }
+      }
+    }
+  }
+
+  /// Scans one leaf-slice pair: each live row of this side's slice streams
+  /// through the partner slice's bound columns (`StreamScan` is the exact
+  /// box-intersection filter and skips the partner's tombstones itself).
+  void LeafJoin(QuasiiIndex<D>* other, const Slice& sa, const Slice& sb,
+                JoinEmitter& emit) {
+    LeftFixedSink sink(&emit);
+    MatchEmitter me(/*count_only=*/false, &sink);
+    for (std::size_t r = sa.begin; r < sa.end; ++r) {
+      if (!array_.live(r)) continue;
+      sink.set_left(array_.id(r));
+      this->Stats().objects_tested += sb.size();
+      const Box<D> probe = array_.box(r);
+      other->array_.StreamScan(sb.begin, sb.end, probe,
+                               RangePredicate::kIntersects, /*covered_dims=*/0u,
+                               &me);
+    }
   }
 
   /// Tombstone count below which compaction is never worth an O(n) rebuild.

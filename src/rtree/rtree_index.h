@@ -202,12 +202,73 @@ class RTreeIndex final : public SpatialIndex<D> {
     DrainTopK(&topk, &sink);
   }
 
+  /// Synchronized traversal when the partner is an R-Tree too: descend both
+  /// packed trees in lockstep, pruning every node pair whose MBBs are
+  /// disjoint — the classic tree join over two STR structures. Any other
+  /// partner falls back to the generic index-nested-loop of the base class.
+  void ExecuteJoin(SpatialIndex<D>& other_base, JoinEmitter& emit) override {
+    auto* other = dynamic_cast<RTreeIndex<D>*>(&other_base);
+    if (other == nullptr) {
+      SpatialIndex<D>::ExecuteJoin(other_base, emit);
+      return;
+    }
+    if (!built_) Build();
+    if (!other->built_) other->Build();
+    JoinNodes(*other, levels_.size() - 1, 0, other->levels_.size() - 1, 0,
+              emit);
+    // Pending inserts live outside both packed trees: probe each side's
+    // pending rows against the other index wholesale (tree + its pending).
+    // The pending × pending overlap is produced by both loops; the
+    // emitter's flush dedups it.
+    for (const ObjectId lid : overflow_.pending()) {
+      other->ProbeJoinRight(this->store_.box(lid), lid, &emit);
+    }
+    for (const ObjectId rid : other->overflow_.pending()) {
+      this->ProbeJoinLeft(other->store().box(rid), rid, &emit);
+    }
+  }
+
  private:
   struct BoxExec {
     const Box<D>* q;
     RangePredicate predicate;
     MatchEmitter* emit;
   };
+
+  /// One node pair of the synchronized traversal: prune on MBB disjointness,
+  /// test entries pairwise at leaf × leaf, otherwise expand the children of
+  /// the deeper side (equal depths expand the left) so both walks reach the
+  /// leaves together. An empty dataset's root keeps the default (inverted)
+  /// box, which intersects nothing — the traversal exits on the first test.
+  void JoinNodes(RTreeIndex<D>& other, std::size_t la, std::size_t ia,
+                 std::size_t lb, std::size_t ib, JoinEmitter& emit) {
+    const Node& na = levels_[la][ia];
+    const Node& nb = other.levels_[lb][ib];
+    if (!na.box.Intersects(nb.box)) return;
+    ++this->Stats().partitions_visited;
+    if (la == 0 && lb == 0) {
+      for (std::size_t i = na.begin; i < na.end; ++i) {
+        if (overflow_.dead(entries_[i].id)) continue;
+        for (std::size_t j = nb.begin; j < nb.end; ++j) {
+          if (other.overflow_.dead(other.entries_[j].id)) continue;
+          ++this->Stats().objects_tested;
+          if (entries_[i].box.Intersects(other.entries_[j].box)) {
+            emit.Add(entries_[i].id, other.entries_[j].id);
+          }
+        }
+      }
+      return;
+    }
+    if (lb == 0 || (la != 0 && la >= lb)) {
+      for (std::size_t i = na.begin; i < na.end; ++i) {
+        JoinNodes(other, la - 1, i, lb, ib, emit);
+      }
+    } else {
+      for (std::size_t j = nb.begin; j < nb.end; ++j) {
+        JoinNodes(other, la, ia, lb - 1, j, emit);
+      }
+    }
+  }
 
   /// Can some object below a node with this MBB still match the predicate?
   static bool SubtreeMayMatch(const Box<D>& node_box, const Box<D>& q,

@@ -33,6 +33,20 @@ class ScanIndex final : public SpatialIndex<D> {
   void OnInsert(ObjectId, const Box<D>&) override {}
   void OnErase(ObjectId) override {}
 
+  /// The join oracle: the textbook nested loop over both live sets, every
+  /// pair tested. Its canonical output (via `JoinEmitter`) is what every
+  /// indexed join strategy is validated against bit-for-bit.
+  void ExecuteJoin(SpatialIndex<D>& other, JoinEmitter& emit) override {
+    this->Stats().partitions_visited += 1;
+    this->Stats().objects_tested +=
+        this->store_.live_count() * other.store().live_count();
+    this->store_.ForEachLive([&](ObjectId la, const Box<D>& ba) {
+      other.store().ForEachLive([&](ObjectId rb, const Box<D>& bb) {
+        if (ba.Intersects(bb)) emit.Add(la, rb);
+      });
+    });
+  }
+
   void ExecuteBox(const Box<D>& q, RangePredicate predicate, bool count_only,
                   Sink& sink) override {
     this->Stats().partitions_visited += 1;

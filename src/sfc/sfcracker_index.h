@@ -65,13 +65,15 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   /// both of its crack boundaries already learned — then `CrackAt` is a
   /// pure map lookup and the interval scans (plus the read-only pending
   /// scan) mutate nothing. kNN stays conservative: its expanding ring
-  /// probes regions the triggering query never names.
+  /// probes regions the triggering query never names — as do joins, whose
+  /// nested-loop probes crack around every partner box.
   bool ConvergedFor(const Query<D>& query) const override {
     if (!initialized_) return false;
-    if (query.type == QueryType::kKNearest) return false;
-    const Box<D> box = query.type == QueryType::kPoint
-                           ? Box<D>(query.point, query.point)
-                           : query.box;
+    if (query.type() == QueryType::kKNearest ||
+        query.type() == QueryType::kJoin) {
+      return false;
+    }
+    const Box<D> box = DescentBox(query);
     if (box.IsEmpty()) return true;
     Box<D> extended = box;
     for (int d = 0; d < D; ++d) {

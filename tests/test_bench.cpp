@@ -243,9 +243,10 @@ void TestMixedWorkloadReport() {
   // deterministic interleave exercises every type (non-zero query counts
   // would all be "\"queries\":0" otherwise).
   CHECK(report.find("\"mix\":{\"range\":0.7") != std::string::npos);
-  // Only the write sections idle under a read-only mix: exactly the
-  // insert + erase section of each of the 7 indexes reports zero ops.
-  CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 2u * 7u);
+  // Only the write and join sections idle under this read-only mix:
+  // exactly the insert + erase + join section of each of the 7 indexes
+  // reports zero ops.
+  CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 3u * 7u);
 }
 
 /// A read/write mix interleaves mutations with the queries; the report must
@@ -262,8 +263,9 @@ void TestReadWriteWorkloadReport() {
   CHECK(JsonValidator(report).Valid());
   CheckResultCountsAgree(report, 7);
   CHECK(report.find("\"insert\":0.15") != std::string::npos);
-  // At this size the deterministic interleave exercises every op type.
-  CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 0u);
+  // At this size the deterministic interleave exercises every op type in
+  // the mix; only the (unweighted) join section of each index idles.
+  CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 1u * 7u);
 }
 
 void TestParseWorkloadMix() {
@@ -279,6 +281,11 @@ void TestParseWorkloadMix() {
   CHECK_EQ(mix.insert, 0.3);
   CHECK_EQ(mix.erase, 0.1);
   CHECK(!mix.IsReadOnly());
+
+  CHECK(ParseWorkloadMix("range:0.8,join:0.2", &mix));
+  CHECK_EQ(mix.join, 0.2);
+  CHECK(mix.IsReadOnly());
+  CHECK(!mix.IsPureRange());
 
   CHECK(ParseWorkloadMix("point:1", &mix));
   CHECK_EQ(mix.range, 0.0);
@@ -311,7 +318,7 @@ void TestParseWorkloadMix() {
     }
   }
   for (const auto& q : quasii::bench::MakeTypedWorkload<3>(boxes, spec)) {
-    CHECK(q.type != quasii::QueryType::kKNearest);
+    CHECK(q.type() != quasii::QueryType::kKNearest);
   }
 }
 

@@ -309,7 +309,7 @@ void CheckBatchAgainstOracle(const std::vector<BatchResult>& got,
                    static_cast<unsigned long long>(oracle[i].count));
       CHECK_EQ(got[i].count, oracle[i].count);
     }
-    if (queries[i].type == quasii::QueryType::kKNearest) {
+    if (queries[i].type() == quasii::QueryType::kKNearest) {
       // kNN order is part of the contract ((distance, id) ascending).
       CHECK(got[i].ids == oracle[i].ids);
     } else {
@@ -334,7 +334,7 @@ void TestConcurrentQueriesMatchScanOracle() {
   std::vector<BatchResult> oracle;
   for (const Query3& q : queries) {
     BatchResult r;
-    if (q.type == quasii::QueryType::kCount) {
+    if (q.type() == quasii::QueryType::kCount) {
       CountSink sink;
       scan.Execute(q, sink);
       r.count = sink.count();
@@ -384,7 +384,7 @@ void TestBatchExecutorDeterministicAcrossPoolSizes() {
     CHECK_EQ(runs[r].size(), runs[0].size());
     for (std::size_t i = 0; i < runs[0].size(); ++i) {
       CHECK_EQ(runs[r][i].count, runs[0][i].count);
-      if (queries[i].type == quasii::QueryType::kKNearest) {
+      if (queries[i].type() == quasii::QueryType::kKNearest) {
         // kNN order is canonical ((distance, id)), so it must match bitwise.
         CHECK(runs[r][i].ids == runs[0][i].ids);
       } else {
@@ -465,7 +465,7 @@ void TestConcurrentReadWriteStreamsReachSequentialState() {
               ok += index->Erase(op.id) ? 1 : 0;
               break;
             case OpKind::kQuery:
-              if (op.query.type == quasii::QueryType::kCount) {
+              if (op.query.type() == quasii::QueryType::kCount) {
                 count_sink.Reset();
                 index->Execute(op.query, count_sink);
               } else {
@@ -473,6 +473,13 @@ void TestConcurrentReadWriteStreamsReachSequentialState() {
                 index->Execute(op.query, vector_sink);
               }
               break;
+            case OpKind::kJoin: {
+              // This spec emits no join ops (no join source), but the
+              // switch stays exhaustive for when one does.
+              quasii::CountPairSink pair_sink;
+              index->Execute(quasii::JoinQuery<3>(op.join_stream), pair_sink);
+              break;
+            }
           }
         }
         accepted.fetch_add(ok);

@@ -171,8 +171,8 @@ void TestDuplicateHeavyFrozenPath() {
   for (const Box3& q : queries) {
     got.clear();
     want.clear();
-    index.Query(q, &got);
-    scan.Query(q, &want);
+    RangeQueryInto(index, q, &got);
+    RangeQueryInto(scan, q, &want);
     std::sort(got.begin(), got.end());
     std::sort(want.begin(), want.end());
     CHECK(got == want);
@@ -233,8 +233,8 @@ void CheckQuasiiAgainstScan(const quasii::Dataset<D>& data,
   for (const auto& q : queries) {
     got.clear();
     want.clear();
-    index.Query(q, &got);
-    scan.Query(q, &want);
+    RangeQueryInto(index, q, &got);
+    RangeQueryInto(scan, q, &want);
     std::sort(got.begin(), got.end());
     std::sort(want.begin(), want.end());
     CHECK(got == want);

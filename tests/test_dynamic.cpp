@@ -411,7 +411,7 @@ void TestQuasiiPendingDrains() {
   QuasiiIndex<3> index(data, SmallQuasiiParams());
 
   std::vector<ObjectId> got;
-  index.Query(UnitCube(10, 20), &got);
+  RangeQueryInto(index, UnitCube(10, 20), &got);
   CHECK(index.initialized());
   CHECK_EQ(index.array().pending_count(), 0u);
 
@@ -422,7 +422,7 @@ void TestQuasiiPendingDrains() {
   CHECK_EQ(index.array().pending_count(), 200u);
 
   got.clear();
-  index.Query(universe, &got);
+  RangeQueryInto(index, universe, &got);
   CHECK_EQ(index.array().pending_count(), 0u);
   CHECK_EQ(got.size(), 1000u);
 }
@@ -436,13 +436,13 @@ void TestQuasiiTombstonesAndCompaction() {
   QuasiiIndex<3> index(data, SmallQuasiiParams());
 
   std::vector<ObjectId> got;
-  index.Query(UnitCube(0, 50), &got);
+  RangeQueryInto(index, UnitCube(0, 50), &got);
 
   // Below the compaction floor: rows stay tombstoned but never surface.
   for (ObjectId id = 0; id < 40; ++id) CHECK(index.Erase(id));
   CHECK_EQ(index.array().tombstones(), 40u);
   got.clear();
-  index.Query(universe, &got);
+  RangeQueryInto(index, universe, &got);
   CHECK_EQ(got.size(), 560u);
   for (const ObjectId id : got) CHECK_GE(id, 40u);
   CHECK_EQ(index.array().tombstones(), 40u);
@@ -450,7 +450,7 @@ void TestQuasiiTombstonesAndCompaction() {
   // Past a quarter dead, the next query rebuilds from the live set.
   for (ObjectId id = 40; id < 200; ++id) CHECK(index.Erase(id));
   got.clear();
-  index.Query(universe, &got);
+  RangeQueryInto(index, universe, &got);
   CHECK_EQ(index.array().tombstones(), 0u);
   CHECK_EQ(index.array().size(), 400u);
   CHECK_EQ(got.size(), 400u);
@@ -465,16 +465,16 @@ void TestQuasiiReinsertNoDuplicates() {
   QuasiiIndex<3> index(data, SmallQuasiiParams());
 
   std::vector<ObjectId> got;
-  index.Query(universe, &got);
+  RangeQueryInto(index, universe, &got);
 
   const ObjectId id = 123;
   CHECK(index.Erase(id));
   CHECK(index.Insert(id, UnitCube(90, 91)));
   got.clear();
-  index.Query(universe, &got);
+  RangeQueryInto(index, universe, &got);
   CHECK_EQ(std::count(got.begin(), got.end(), id), 1);
   got.clear();
-  index.Query(UnitCube(89, 92), &got);
+  RangeQueryInto(index, UnitCube(89, 92), &got);
   CHECK_EQ(std::count(got.begin(), got.end(), id), 1);
 }
 
@@ -487,7 +487,7 @@ void TestQuasiiThresholdMaintenance() {
   QuasiiIndex<3> index(data, SmallQuasiiParams());
 
   std::vector<ObjectId> got;
-  index.Query(UnitCube(10, 20), &got);
+  RangeQueryInto(index, UnitCube(10, 20), &got);
   const std::size_t before = index.LevelThreshold(0);
   CHECK_GT(before, index.LevelThreshold(2));
   CHECK_EQ(index.LevelThreshold(2), 64u);

@@ -94,11 +94,11 @@ void CheckAllAgainstScan(const quasii::Dataset<D>& data,
   std::vector<ObjectId> want, got;
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
     want.clear();
-    scan.Query(queries[qi], &want);
+    RangeQueryInto(scan, queries[qi], &want);
     std::sort(want.begin(), want.end());
     for (auto& index : challengers) {
       got.clear();
-      index->Query(queries[qi], &got);
+      RangeQueryInto(*index, queries[qi], &got);
       std::sort(got.begin(), got.end());
       if (got != want) {
         std::fprintf(stderr, "[%s] %s disagrees with Scan on query %zu "
@@ -181,7 +181,7 @@ void TestDegenerateDatasets() {
   for (auto& index : MakeChallengers<3>(empty, universe)) {
     index->Build();
     std::vector<ObjectId> got;
-    index->Query(q, &got);
+    RangeQueryInto(*index, q, &got);
     CHECK(got.empty());
   }
 
@@ -232,7 +232,7 @@ void TestZeroExtentQueriesAcrossRoster() {
   std::uint64_t total = 0;
   for (const Box3& q : queries) {
     std::vector<ObjectId> got;
-    scan.Query(q, &got);
+    RangeQueryInto(scan, q, &got);
     CHECK_GT(got.size(), 0u);
     total += got.size();
   }
@@ -266,24 +266,24 @@ void TestInvertedQueryReturnsNothingEverywhere() {
   for (auto& index : challengers) {
     index->Build();
     got.clear();
-    index->Query(inverted, &got);
+    RangeQueryInto(*index, inverted, &got);
     CHECK(got.empty());
   }
   const auto queries = MixedWorkload<3>(universe, data, 1e-3, 57);
   for (const Box3& q : queries) {
     want.clear();
-    scan.Query(q, &want);
+    RangeQueryInto(scan, q, &want);
     std::sort(want.begin(), want.end());
     for (auto& index : challengers) {
       got.clear();
-      index->Query(q, &got);
+      RangeQueryInto(*index, q, &got);
       std::sort(got.begin(), got.end());
       CHECK(got == want);
     }
     // Interleave more inverted queries between the valid ones.
     for (auto& index : challengers) {
       got.clear();
-      index->Query(inverted, &got);
+      RangeQueryInto(*index, inverted, &got);
       CHECK(got.empty());
     }
   }

@@ -93,7 +93,7 @@ void TestThresholdProgression() {
     q.hi[d] = 200;
   }
   std::vector<ObjectId> result;
-  index.Query(q, &result);
+  RangeQueryInto(index, q, &result);
   // Geometric progression: leaf threshold tau, each level above rho times
   // larger, D refinements from n down to tau.
   CHECK_EQ(index.LevelThreshold(2), 1024u);
@@ -122,8 +122,8 @@ void TestInvariantsAfterQueries() {
   for (const Box3& q : queries) {
     got.clear();
     want.clear();
-    index.Query(q, &got);
-    scan.Query(q, &want);
+    RangeQueryInto(index, q, &got);
+    RangeQueryInto(scan, q, &want);
     std::sort(got.begin(), got.end());
     std::sort(want.begin(), want.end());
     CHECK(got == want);
@@ -149,7 +149,7 @@ void TestScanStatsBaseline() {
     q.lo[d] = 1;
     q.hi[d] = 2;
   }
-  for (int i = 0; i < 7; ++i) scan.Query(q, &result);
+  for (int i = 0; i < 7; ++i) RangeQueryInto(scan, q, &result);
   CHECK_EQ(scan.stats().objects_tested, 1234u * 7u);
 }
 
@@ -178,7 +178,7 @@ void TestWorkloadBeatsScanAndConverges() {
     result.clear();
     const std::uint64_t cracks_before = index.stats().cracks;
     Timer t;
-    index.Query(q, &result);
+    RangeQueryInto(index, q, &result);
     latency_s.push_back(t.Seconds());
     cracks_per_query.push_back(index.stats().cracks - cracks_before);
     results_total += result.size();
@@ -220,7 +220,7 @@ void TestStatsAccounting() {
   qp.seed = 8;
   const auto queries = quasii::datagen::MakeUniformQueries(universe, qp);
   std::vector<ObjectId> result;
-  for (const Box3& q : queries) index.Query(q, &result);
+  for (const Box3& q : queries) RangeQueryInto(index, q, &result);
 
   // A refining workload must register all four counter families.
   CHECK_GT(index.stats().cracks, 0u);
@@ -231,7 +231,7 @@ void TestStatsAccounting() {
   // Repeating one query on the now-refined region adds no cracks.
   const std::uint64_t cracks = index.stats().cracks;
   result.clear();
-  index.Query(queries.front(), &result);
+  RangeQueryInto(index, queries.front(), &result);
   CHECK_EQ(index.stats().cracks, cracks);
 }
 

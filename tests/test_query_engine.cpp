@@ -1,9 +1,11 @@
-// Query-engine suite: every roster index must execute all five query types
-// (range with three predicates, point, count, kNN) through
+// Query-engine suite: every roster index must execute the single-index
+// query types (range with three predicates, point, count, kNN) through
 // `Execute(Query, Sink)` and agree with a brute-force oracle computed
 // directly from the dataset; sinks must respect the engine's contracts
 // (count queries never see ids, stats stay monotone and bound the emitted
-// results, the TopK heap breaks ties by id).
+// results, the TopK heap breaks ties by id); malformed descriptions must
+// fail at the query factories. (Joins and conjunctive plans have their own
+// suite: test_join.cpp.)
 
 #include <algorithm>
 #include <array>
@@ -24,6 +26,7 @@
 #include "datagen/synthetic.h"
 #include "geometry/box.h"
 #include "quasii/quasii_index.h"
+#include "scan/scan_index.h"
 #include "tests/test_util.h"
 
 namespace {
@@ -217,8 +220,9 @@ void TestAllTypesMatchBruteForceAcrossRoster() {
 }
 
 /// kNN oracle checks (brute force vs every index): ties at equal distance
-/// (duplicate boxes), k larger than the dataset, k == 0, and query points
-/// far outside the data region.
+/// (duplicate boxes), k larger than the dataset, and query points far
+/// outside the data region. (k == 0 is unrepresentable: the factory
+/// rejects it — see TestFactoryValidation.)
 void TestKnnOracle() {
   // A tie-heavy dataset: clusters of identical boxes plus random filler.
   Rng rng(7);
@@ -260,11 +264,10 @@ void TestKnnOracle() {
   }
 
   const std::size_t n = data.size();
-  const std::size_t ks[] = {1, 3, 60, n, n + 17, 0};
+  const std::size_t ks[] = {1, 3, 60, n, n + 17};
   for (const Point3& pt : probes) {
     for (const std::size_t k : ks) {
       const auto want = BruteKnn(data, pt, k);
-      if (k == 0) CHECK_EQ(want.size(), 0u);
       if (k >= n) CHECK_EQ(want.size(), n);
       for (auto& index : roster) {
         const auto got = Collect(index.get(), KNearestQuery<3>(pt, k));
@@ -343,12 +346,18 @@ void TestStatsInvariantsUnderMixedWorkload() {
   spec.knn_k = 9;
   spec.seed = 11;
   const auto queries = quasii::bench::MakeTypedWorkload<3>(boxes, spec);
-  // The deterministic interleave must cover every type at this size.
+  // The deterministic interleave must cover every single-index type at this
+  // size. Joins are pair-producing op-stream operations, not typed queries,
+  // so their slot stays empty here.
   std::array<std::uint64_t, quasii::bench::kNumQueryTypes> seen{};
   for (const Query3& q : queries) {
     ++seen[static_cast<std::size_t>(quasii::bench::TypeIndexOf(q))];
   }
   for (int t = 0; t < quasii::bench::kNumQueryTypes; ++t) {
+    if (t == quasii::bench::kTypeJoin) {
+      CHECK_EQ(seen[static_cast<std::size_t>(t)], 0u);
+      continue;
+    }
     CHECK_GT(seen[static_cast<std::size_t>(t)], 0u);
   }
 
@@ -359,7 +368,7 @@ void TestStatsInvariantsUnderMixedWorkload() {
     QueryStats prev = index->stats();
     std::uint64_t results_emitted = 0;
     for (const Query3& q : queries) {
-      if (q.type == QueryType::kCount) {
+      if (q.type() == QueryType::kCount) {
         results_emitted += Count(index.get(), q);
       } else {
         results_emitted += Collect(index.get(), q).size();
@@ -424,36 +433,53 @@ void TestTopKSink() {
   CHECK_EQ(none.TakeSorted().size(), 0u);
 }
 
-/// The legacy `Query()` entry point is a shim over `Execute`: both must
-/// return identical results and advance the same counters.
-void TestLegacyQueryShim() {
-  const Dataset3 data = UniformData(5000, 5);
-  quasii::datagen::UniformDatasetParams dp;
-  dp.count = 5000;
-  dp.seed = 5;
-  const Box3 universe = quasii::datagen::UniformUniverse(dp);
-  const auto boxes = FootprintBoxes(universe, 10, 1e-3, 53);
+/// Malformed query descriptions fail at construction, not inside dispatch:
+/// the `Try*` factories return nullopt on the same inputs the `Make*`
+/// wrappers abort on, and well-formed inputs produce fully typed queries.
+void TestFactoryValidation() {
+  const Point3 pt{};
+  CHECK(!Query3::TryKNearest(pt, 0).has_value());
+  const auto knn = Query3::TryKNearest(pt, 4);
+  CHECK(knn.has_value());
+  CHECK(knn->type() == QueryType::kKNearest);
+  CHECK_EQ(knn->k(), 4u);
 
-  auto roster = MakeIndexRoster(data, universe);
-  for (auto& index : roster) {
-    index->Build();
-    for (const Box3& b : boxes) {
-      std::vector<ObjectId> via_shim;
-      index->Query(b, &via_shim);
-      const auto via_execute = Collect(index.get(), RangeQuery<3>(b));
-      CHECK(Sorted(via_shim) == Sorted(via_execute));
-    }
-  }
+  CHECK(!Query3::TryJoin(static_cast<SpatialIndex<3>*>(nullptr)).has_value());
+  CHECK(!Query3::TryJoin(static_cast<const std::vector<Box3>*>(nullptr))
+             .has_value());
+  const Dataset3 data = UniformData(64, 5);
+  quasii::ScanIndex<3> scan(data);
+  const auto join = Query3::TryJoin(&scan);
+  CHECK(join.has_value());
+  CHECK(join->type() == QueryType::kJoin);
+  CHECK(join->join_other() == &scan);
+  const std::vector<Box3> stream(3);
+  const auto stream_join = Query3::TryJoin(&stream);
+  CHECK(stream_join.has_value());
+  CHECK(stream_join->join_stream() == &stream);
+
+  CHECK(!Query3::TryConjunction({}).has_value());
+  std::vector<quasii::ConjunctiveTerm<3>> terms(2);
+  const auto conj = Query3::TryConjunction(terms);
+  CHECK(conj.has_value());
+  CHECK(conj->type() == QueryType::kConjunction);
+  CHECK_EQ(conj->terms().size(), 2u);
+
+  // A default-constructed query is the valid degenerate range that matches
+  // nothing (op streams default-construct before being overwritten).
+  Query3 q;
+  CHECK(q.type() == QueryType::kRange);
+  CHECK(q.box().IsEmpty());
 }
 
 }  // namespace
 
 int main() {
   RUN_TEST(TestTopKSink);
+  RUN_TEST(TestFactoryValidation);
   RUN_TEST(TestAllTypesMatchBruteForceAcrossRoster);
   RUN_TEST(TestKnnOracle);
   RUN_TEST(TestCountOnlyWorkloadCracksWithoutIds);
   RUN_TEST(TestStatsInvariantsUnderMixedWorkload);
-  RUN_TEST(TestLegacyQueryShim);
   return 0;
 }

@@ -79,8 +79,8 @@ void TestCrackBoundariesAfterQueries() {
   for (const Box3& q : queries) {
     got.clear();
     want.clear();
-    cracker.Query(q, &got);
-    scan.Query(q, &want);
+    RangeQueryInto(cracker, q, &got);
+    RangeQueryInto(scan, q, &want);
     std::sort(got.begin(), got.end());
     std::sort(want.begin(), want.end());
     CHECK(got == want);
@@ -112,10 +112,10 @@ void TestRepeatedQueryAddsNoCracks() {
     q.hi[d] = 500;
   }
   std::vector<ObjectId> first, second;
-  cracker.Query(q, &first);
+  RangeQueryInto(cracker, q, &first);
   const std::size_t boundaries_after_first = cracker.num_boundaries();
   const auto cracks_after_first = cracker.stats().cracks;
-  cracker.Query(q, &second);
+  RangeQueryInto(cracker, q, &second);
   // The same query re-uses all of its boundaries: no new cracks.
   CHECK_EQ(cracker.num_boundaries(), boundaries_after_first);
   CHECK_EQ(cracker.stats().cracks, cracks_after_first);

@@ -4,9 +4,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <vector>
+
+#include "common/query.h"
+#include "common/spatial_index.h"
 
 // Assertion-style test support: CHECK* abort the binary with a message, so
 // ctest reports the failing binary and line. No framework dependency.
+
+/// Appends to `*out` the ids of all objects whose MBB intersects `q` — the
+/// single-shot convenience the tests use now that everything goes through
+/// the typed `Execute(Query, Sink)` engine.
+template <int D>
+void RangeQueryInto(quasii::SpatialIndex<D>& index, const quasii::Box<D>& q,
+                    std::vector<quasii::ObjectId>* out) {
+  quasii::VectorSink sink(out);
+  index.Execute(quasii::RangeQuery<D>(q), sink);
+}
 
 #define CHECK(cond)                                                       \
   do {                                                                    \

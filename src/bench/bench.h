@@ -21,6 +21,7 @@
 #include "geometry/box.h"
 #include "grid/grid_index.h"
 #include "mosaic/mosaic_index.h"
+#include "persist/recovery.h"
 #include "quasii/quasii_index.h"
 #include "rtree/rtree_index.h"
 #include "scan/scan_index.h"
@@ -28,6 +29,46 @@
 #include "sfc/sfcracker_index.h"
 
 namespace quasii::bench {
+
+/// Durability wiring of a run (`src/persist/`): WAL every accepted
+/// mutation, periodic snapshots, and an optional recover-before-run phase.
+/// Restricted to sequential single-index runs — persistence is
+/// single-threaded by contract, and one WAL belongs to one index.
+struct DurabilityConfig {
+  /// Append-only mutation log; empty disables durability entirely.
+  std::string wal_path;
+  /// Defaults to `wal_path + ".snapshot"`.
+  std::string snapshot_path;
+  /// Snapshot after every N accepted mutations (0 = never).
+  std::size_t snapshot_every = 0;
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::kEveryOp;
+  std::size_t fsync_every_n = 8;
+  /// Recover from the snapshot + WAL before running the workload.
+  bool recover = false;
+
+  bool enabled() const { return !wal_path.empty(); }
+  std::string EffectiveSnapshotPath() const {
+    return snapshot_path.empty() ? wal_path + ".snapshot" : snapshot_path;
+  }
+};
+
+/// Durability-side measurements of one run: logging/snapshot cost (kept
+/// out of the per-op latencies, reported separately) and the recovery
+/// outcome when `recover` was requested.
+struct DurabilityRun {
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_syncs = 0;
+  double wal_ms = 0;
+  std::uint64_t snapshots_written = 0;
+  double snapshot_ms = 0;
+  /// First persistence failure of the run (`kNone` when clean); logging
+  /// stops at the first failure so a broken disk cannot corrupt the log.
+  persist::PersistError error = persist::PersistError::kNone;
+  bool recovered = false;
+  double recover_ms = 0;
+  persist::RecoveryResult recovery;
+};
 
 /// Configuration of one experiment run (paper Section 6.1 setup, scaled by
 /// the caller): one dataset, one query workload, a roster of indexes.
@@ -50,6 +91,8 @@ struct BenchConfig {
   /// N > 1 splits the workload into N deterministic per-thread op streams
   /// (disjoint id spaces) executed at once on a `ThreadPool`.
   int threads = 1;
+  /// WAL + snapshot persistence (off unless `wal_path` is set).
+  DurabilityConfig durability;
 };
 
 /// The full evaluation roster over one dataset (Section 6.1 list).
@@ -281,13 +324,31 @@ inline TimedExec RunTimedQuery(
   return RunTimedOp(index, op, sinks, per_type);
 }
 
-inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
+/// Sequential measurement loop. With a durability config, every accepted
+/// mutation is WAL-logged (LSN = the store version it produced) and a
+/// snapshot is taken every `snapshot_every` accepted mutations; the
+/// logging/snapshot cost lands in `dur_out`, not in the per-op latencies.
+inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops,
+                         const DurabilityConfig* dur = nullptr,
+                         DurabilityRun* dur_out = nullptr) {
   IndexRun run;
   run.name = std::string(index->name());
   Timer build_timer;
   index->Build();
   run.build_ms = build_timer.Millis();
   index->ResetStats();
+
+  persist::WalWriter<3> wal;
+  bool logging = dur != nullptr && dur->enabled() && dur_out != nullptr;
+  if (logging) {
+    const persist::PersistError err =
+        wal.Open(dur->wal_path, dur->fsync, dur->fsync_every_n);
+    if (err != persist::PersistError::kNone) {
+      dur_out->error = err;
+      logging = false;
+    }
+  }
+  std::size_t accepted_mutations = 0;
 
   run.latencies_ms.reserve(ops.size());
   RunSinks sinks;
@@ -296,6 +357,53 @@ inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
     run.latencies_ms.push_back(exec.ms);
     run.total_query_ms += exec.ms;
     run.result_objects += exec.results;
+    const bool mutation =
+        op.kind == OpKind::kInsert || op.kind == OpKind::kErase;
+    if (logging && mutation && exec.results == 1) {
+      persist::WalRecord<3> rec;
+      rec.lsn = index->store().version();
+      rec.id = op.id;
+      if (op.kind == OpKind::kInsert) {
+        rec.op = persist::WalOp::kInsert;
+        rec.box = op.box;
+      } else {
+        rec.op = persist::WalOp::kErase;
+      }
+      Timer wal_timer;
+      const persist::PersistError err = wal.Append(rec);
+      dur_out->wal_ms += wal_timer.Millis();
+      if (err != persist::PersistError::kNone) {
+        dur_out->error = err;
+        logging = false;
+        continue;
+      }
+      ++accepted_mutations;
+      if (dur->snapshot_every > 0 &&
+          accepted_mutations % dur->snapshot_every == 0) {
+        Timer snap_timer;
+        const persist::PersistError serr =
+            persist::WriteSnapshot<3>(*index, dur->EffectiveSnapshotPath());
+        dur_out->snapshot_ms += snap_timer.Millis();
+        if (serr != persist::PersistError::kNone) {
+          dur_out->error = serr;
+          logging = false;
+        } else {
+          ++dur_out->snapshots_written;
+        }
+      }
+    }
+  }
+  if (dur_out != nullptr && (logging || wal.records_appended() > 0)) {
+    Timer sync_timer;
+    const persist::PersistError err = wal.Sync();
+    dur_out->wal_ms += sync_timer.Millis();
+    if (err != persist::PersistError::kNone &&
+        dur_out->error == persist::PersistError::kNone) {
+      dur_out->error = err;
+    }
+    dur_out->wal_records = wal.records_appended();
+    dur_out->wal_bytes = wal.bytes_written();
+    dur_out->wal_syncs = wal.syncs();
   }
   run.cumulative = index->stats();
   return run;
@@ -403,9 +511,12 @@ inline void WriteMix(JsonWriter* w, const WorkloadMix& mix) {
 }
 
 /// Runs the configured experiment and returns the JSON report consumed by
-/// the BENCH_*.json comparison tooling (schema v5: the mix and the
-/// per-type sections gain `join`, and stream-join ops count as queries).
-inline std::string RunBenchmark(const BenchConfig& config) {
+/// the BENCH_*.json comparison tooling (schema v6: single-index runs can
+/// carry a `durability` section — WAL/snapshot cost and, with `--recover`,
+/// the recovery outcome). A durability or recovery failure sets `*error`
+/// and returns ""; `error == nullptr` runs without durability plumbing.
+inline std::string RunBenchmark(const BenchConfig& config,
+                                std::string* error) {
   Dataset3 data;
   Box3 universe;
   std::vector<Box3> boxes;
@@ -431,7 +542,8 @@ inline std::string RunBenchmark(const BenchConfig& config) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-bench-v5");
+  const bool durable = config.durability.enabled() && error != nullptr;
+  w.Key("schema").String("quasii-bench-v6");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);
@@ -454,8 +566,32 @@ inline std::string RunBenchmark(const BenchConfig& config) {
                   std::string(index->name())) == config.indexes.end()) {
       continue;
     }
-    const IndexRun run = threaded ? RunIndexThreaded(index.get(), streams)
-                                  : RunIndex(index.get(), ops);
+    DurabilityRun dur;
+    if (durable && config.durability.recover) {
+      Timer recover_timer;
+      dur.recovery = persist::RecoverIndex<3>(
+          index.get(), config.durability.EffectiveSnapshotPath(),
+          config.durability.wal_path);
+      dur.recover_ms = recover_timer.Millis();
+      dur.recovered = true;
+      if (!dur.recovery.ok()) {
+        *error = std::string("recovery failed: ") +
+                 persist::PersistErrorName(dur.recovery.error) +
+                 (dur.recovery.detail.empty() ? "" : ": ") +
+                 dur.recovery.detail;
+        return "";
+      }
+    }
+    const IndexRun run =
+        threaded ? RunIndexThreaded(index.get(), streams)
+                 : RunIndex(index.get(), ops, durable ? &config.durability
+                                                      : nullptr,
+                            durable ? &dur : nullptr);
+    if (durable && dur.error != persist::PersistError::kNone) {
+      *error = std::string("durability failure: ") +
+               persist::PersistErrorName(dur.error);
+      return "";
+    }
     w.BeginObject();
     w.Key("index").String(run.name);
     w.Key("build_ms").Double(run.build_ms);
@@ -485,6 +621,32 @@ inline std::string RunBenchmark(const BenchConfig& config) {
       }
       w.EndArray();
     }
+    if (durable) {
+      w.Key("durability").BeginObject();
+      w.Key("wal_path").String(config.durability.wal_path);
+      w.Key("snapshot_path").String(config.durability.EffectiveSnapshotPath());
+      w.Key("fsync").String(
+          std::string(persist::FsyncPolicyName(config.durability.fsync)));
+      w.Key("wal_records").Uint(dur.wal_records);
+      w.Key("wal_bytes").Uint(dur.wal_bytes);
+      w.Key("wal_syncs").Uint(dur.wal_syncs);
+      w.Key("wal_ms").Double(dur.wal_ms);
+      w.Key("snapshots_written").Uint(dur.snapshots_written);
+      w.Key("snapshot_ms").Double(dur.snapshot_ms);
+      if (dur.recovered) {
+        w.Key("recovery").BeginObject();
+        w.Key("recover_ms").Double(dur.recover_ms);
+        w.Key("snapshot_loaded").Bool(dur.recovery.snapshot_loaded);
+        w.Key("structure_restored").Bool(dur.recovery.structure_restored);
+        w.Key("snapshot_lsn").Uint(dur.recovery.snapshot_lsn);
+        w.Key("wal_records").Uint(dur.recovery.wal_records);
+        w.Key("wal_replayed").Uint(dur.recovery.wal_replayed);
+        w.Key("wal_tail_truncated").Bool(dur.recovery.wal_tail_truncated);
+        w.Key("recovered_lsn").Uint(dur.recovery.recovered_lsn);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
     w.Key("latencies_ms").BeginArray();
     for (const double ms : run.latencies_ms) w.Double(ms);
     w.EndArray();
@@ -493,6 +655,10 @@ inline std::string RunBenchmark(const BenchConfig& config) {
   w.EndArray();
   w.EndObject();
   return w.str();
+}
+
+inline std::string RunBenchmark(const BenchConfig& config) {
+  return RunBenchmark(config, nullptr);
 }
 
 }  // namespace quasii::bench

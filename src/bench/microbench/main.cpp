@@ -14,11 +14,13 @@
 #include <iostream>
 #include <string>
 
+#include "bench/cli.h"
 #include "bench/microbench/microbench.h"
 
 namespace {
 
 using quasii::bench::MicrobenchOptions;
+namespace cli = quasii::bench::cli;
 
 void PrintUsage() {
   std::fprintf(stderr,
@@ -43,42 +45,70 @@ void PrintUsage() {
                "          exponents (the CI flags use 13..14).\n");
 }
 
-bool ParseArg(const std::string& arg, MicrobenchOptions* options,
-              std::string* out_path) {
-  const std::size_t eq = arg.find('=');
-  if (arg.rfind("--", 0) != 0 || eq == std::string::npos) return false;
-  const std::string key = arg.substr(2, eq - 2);
-  const std::string value = arg.substr(eq + 1);
-  if (key == "min-exp") {
-    options->min_exp = std::atoi(value.c_str());
-  } else if (key == "max-exp") {
-    options->max_exp = std::atoi(value.c_str());
-  } else if (key == "queries") {
-    options->queries = std::atoi(value.c_str());
-  } else if (key == "seed") {
-    options->seed = std::strtoull(value.c_str(), nullptr, 10);
-  } else if (key == "workloads") {
-    options->workloads.clear();
-    std::size_t start = 0;
-    while (start < value.size()) {
-      const std::size_t comma = value.find(',', start);
-      const std::size_t end = comma == std::string::npos ? value.size() : comma;
-      if (end > start) {
-        const std::string w = value.substr(start, end - start);
-        if (w != "uniform" && w != "clustered" && w != "mixed" &&
-            w != "readwrite" && w != "join") {
-          return false;
-        }
-        options->workloads.push_back(w);
-      }
-      start = end + 1;
+/// One strict-parse failure: diagnostic naming the flag, nonzero exit.
+[[noreturn]] void Die(const std::string& flag, const char* why) {
+  std::fprintf(stderr, "quasii_microbench: bad %s: %s\n", flag.c_str(), why);
+  std::exit(2);
+}
+
+void ParseArgOrDie(const std::string& arg, MicrobenchOptions* options,
+                   std::string* out_path) {
+  const cli::FlagArg flag = cli::SplitFlag(arg);
+  if (!flag.is_flag) {
+    std::fprintf(stderr, "quasii_microbench: unrecognized argument: %s\n",
+                 arg.c_str());
+    std::exit(2);
+  }
+  if (!flag.has_value) {
+    std::fprintf(stderr,
+                 "quasii_microbench: missing value: %s (use --%s=VALUE)\n",
+                 arg.c_str(), flag.key.c_str());
+    std::exit(2);
+  }
+  const std::string& value = flag.value;
+  if (flag.key == "min-exp") {
+    std::int64_t e = 0;
+    if (!cli::ParseI64(value, &e) || e < 1 || e > 30) {
+      Die(arg, "expected an exponent in [1, 30]");
     }
-  } else if (key == "out") {
+    options->min_exp = static_cast<int>(e);
+  } else if (flag.key == "max-exp") {
+    std::int64_t e = 0;
+    if (!cli::ParseI64(value, &e) || e < 1 || e > 30) {
+      Die(arg, "expected an exponent in [1, 30]");
+    }
+    options->max_exp = static_cast<int>(e);
+  } else if (flag.key == "queries") {
+    std::int64_t q = 0;
+    if (!cli::ParseI64(value, &q) || q <= 0 || q > 1'000'000'000) {
+      Die(arg, "expected a positive integer");
+    }
+    options->queries = static_cast<int>(q);
+  } else if (flag.key == "seed") {
+    if (!cli::ParseU64(value, &options->seed)) {
+      Die(arg, "expected a non-negative integer");
+    }
+  } else if (flag.key == "workloads") {
+    options->workloads.clear();
+    for (const std::string& w : cli::SplitCommas(value)) {
+      if (w != "uniform" && w != "clustered" && w != "mixed" &&
+          w != "readwrite" && w != "join") {
+        Die(arg, "expected uniform, clustered, mixed, readwrite, or join");
+      }
+      options->workloads.push_back(w);
+    }
+    if (options->workloads.empty()) {
+      Die(arg, "expected at least one workload");
+    }
+  } else if (flag.key == "out") {
+    if (value.empty()) Die(arg, "expected a file path (or -)");
     *out_path = value;
   } else {
-    return false;
+    std::fprintf(stderr, "quasii_microbench: unknown flag: --%s\n",
+                 flag.key.c_str());
+    PrintUsage();
+    std::exit(2);
   }
-  return true;
 }
 
 }  // namespace
@@ -92,20 +122,11 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 0;
     }
-    if (!ParseArg(arg, &options, &out_path)) {
-      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
-      PrintUsage();
-      return 2;
-    }
+    ParseArgOrDie(arg, &options, &out_path);
   }
-  if (options.min_exp < 1 || options.max_exp < options.min_exp ||
-      options.max_exp > 30) {
+  if (options.max_exp < options.min_exp) {
     std::fprintf(stderr,
                  "--min-exp/--max-exp must satisfy 1 <= min <= max <= 30\n");
-    return 2;
-  }
-  if (options.queries <= 0) {
-    std::fprintf(stderr, "--queries must be positive\n");
     return 2;
   }
 

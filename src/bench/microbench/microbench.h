@@ -1,9 +1,12 @@
 #ifndef QUASII_BENCH_MICROBENCH_MICROBENCH_H_
 #define QUASII_BENCH_MICROBENCH_MICROBENCH_H_
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,7 +50,11 @@ namespace quasii::bench {
 /// as Scan's nested loop while testing far fewer objects, and converge —
 /// later rounds add no cracks). The join workload is quadratic for the
 /// Scan baseline, so it belongs to CI-sized exponents, not the default
-/// full-size matrix.
+/// full-size matrix. Schema v6 adds the `recovery` block on the
+/// uniform-workload QUASII results: the converged index is snapshotted
+/// (`src/persist/`), recovered into a fresh instance, and re-queried — the
+/// durability acceptance bar is `replay_cracks == 0` (the restored slice
+/// hierarchy is already converged) with a matching result checksum.
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
@@ -129,6 +136,79 @@ inline std::vector<ScalingPoint> MeasureScaling(SpatialIndex<3>* index,
     points.push_back(p);
   }
   return points;
+}
+
+/// The snapshot→recover round trip of a converged index (QUASII on the
+/// uniform configs): how big the snapshot is, what saving and recovering
+/// cost, and the two durability acceptance checks — a recovered index must
+/// answer the workload's range queries with the identical checksum while
+/// performing zero cracks (its restored structure is already converged).
+struct RecoveryPoint {
+  std::uint64_t snapshot_bytes = 0;
+  double save_ms = 0;
+  double recover_ms = 0;
+  std::uint64_t replay_queries = 0;
+  std::uint64_t replay_cracks = 0;
+  bool checksum_match = false;
+  bool ok = false;  // snapshot + recovery both succeeded
+};
+
+/// Order-sensitive FNV-1a fold over every range query's sorted result ids —
+/// the same digest `RunMicro`'s post-workload pass computes.
+inline std::uint64_t RangeQueryChecksum(
+    SpatialIndex<3>* index, const std::vector<Op3>& ops,
+    std::uint64_t* queries_out, std::uint64_t* result_objects_out = nullptr) {
+  std::vector<ObjectId> ids;
+  VectorSink id_sink(&ids);
+  std::uint64_t checksum = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto fnv = [&checksum](std::uint64_t v) {
+    checksum = (checksum ^ v) * 1099511628211ull;
+  };
+  for (const Op3& op : ops) {
+    if (op.kind != OpKind::kQuery || op.query.type() != QueryType::kRange) {
+      continue;
+    }
+    ids.clear();
+    index->Execute(op.query, id_sink);
+    std::sort(ids.begin(), ids.end());
+    fnv(ids.size());
+    for (const ObjectId id : ids) fnv(id);
+    if (queries_out != nullptr) ++*queries_out;
+    if (result_objects_out != nullptr) *result_objects_out += ids.size();
+  }
+  return checksum;
+}
+
+/// Snapshots the (converged) index, recovers it into `fresh`, and replays
+/// the workload's range queries against the recovered instance. The
+/// snapshot lands at `snapshot_path` and is deleted before returning.
+inline RecoveryPoint MeasureRecovery(const SpatialIndex<3>& converged,
+                                     SpatialIndex<3>* fresh,
+                                     const std::vector<Op3>& ops,
+                                     std::uint64_t expected_checksum,
+                                     const std::string& snapshot_path) {
+  RecoveryPoint point;
+  Timer save_timer;
+  const persist::PersistError serr =
+      persist::WriteSnapshot<3>(converged, snapshot_path,
+                                &point.snapshot_bytes);
+  point.save_ms = save_timer.Millis();
+  if (serr != persist::PersistError::kNone) return point;
+
+  Timer recover_timer;
+  const persist::RecoveryResult rec =
+      persist::RecoverIndex<3>(fresh, snapshot_path, /*wal_path=*/"");
+  point.recover_ms = recover_timer.Millis();
+  std::remove(snapshot_path.c_str());
+  if (!rec.ok()) return point;
+  point.ok = true;
+
+  fresh->ResetStats();
+  const std::uint64_t replayed =
+      RangeQueryChecksum(fresh, ops, &point.replay_queries);
+  point.replay_cracks = fresh->stats().cracks;
+  point.checksum_match = replayed == expected_checksum;
+  return point;
 }
 
 /// Per-index microbench measurement (a superset of `IndexRun`'s fields,
@@ -259,31 +339,17 @@ inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
       tail_queries > 0 ? tail_ms / static_cast<double>(tail_queries) : 0;
 
   // Post-workload verification pass: the final state answers every range
-  // query of the stream; its checksum must agree across the roster.
-  std::vector<ObjectId> ids;
-  VectorSink id_sink(&ids);
-  std::uint64_t checksum = 14695981039346656037ull;  // FNV-1a offset basis
-  const auto fnv = [&checksum](std::uint64_t v) {
-    checksum = (checksum ^ v) * 1099511628211ull;
-  };
-  for (const Op3& op : ops) {
-    if (op.kind != OpKind::kQuery || op.query.type() != QueryType::kRange) {
-      continue;
-    }
-    ids.clear();
-    index->Execute(op.query, id_sink);
-    std::sort(ids.begin(), ids.end());
-    fnv(ids.size());
-    for (const ObjectId id : ids) fnv(id);
-    ++run.post_workload.queries;
-    run.post_workload.result_objects += ids.size();
-  }
-  run.post_workload.checksum = checksum;
+  // query of the stream; its checksum must agree across the roster (and
+  // with the recovered instance's replay in `MeasureRecovery`).
+  run.post_workload.checksum =
+      RangeQueryChecksum(index, ops, &run.post_workload.queries,
+                         &run.post_workload.result_objects);
   return run;
 }
 
 inline void WriteMicroRun(JsonWriter* w, const MicroRun& run,
-                          const std::vector<ScalingPoint>* scaling = nullptr) {
+                          const std::vector<ScalingPoint>* scaling = nullptr,
+                          const RecoveryPoint* recovery = nullptr) {
   w->BeginObject();
   w->Key("index").String(run.name);
   w->Key("build_ms").Double(run.build_ms);
@@ -325,6 +391,17 @@ inline void WriteMicroRun(JsonWriter* w, const MicroRun& run,
     }
     w->EndArray();
   }
+  if (recovery != nullptr) {
+    w->Key("recovery").BeginObject();
+    w->Key("ok").Bool(recovery->ok);
+    w->Key("snapshot_bytes").Uint(recovery->snapshot_bytes);
+    w->Key("save_ms").Double(recovery->save_ms);
+    w->Key("recover_ms").Double(recovery->recover_ms);
+    w->Key("replay_queries").Uint(recovery->replay_queries);
+    w->Key("replay_cracks").Uint(recovery->replay_cracks);
+    w->Key("checksum_match").Bool(recovery->checksum_match);
+    w->EndObject();
+  }
   w->EndObject();
 }
 
@@ -335,7 +412,7 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v5");
+  w.Key("schema").String("quasii-microbench-v6");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
@@ -385,14 +462,27 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
       for (const auto& index : roster) {
         const MicroRun run =
             join ? RunJoinMicro(index.get()) : RunMicro(index.get(), ops);
-        // The scaling curve rides on the uniform (read-only, pure-range)
-        // configs' QUASII result: the workload has fully converged the
-        // index by now, so this measures the shared-lock read path.
+        // The scaling curve and the snapshot→recover round trip both ride
+        // on the uniform (read-only, pure-range) configs' QUASII result:
+        // the workload has fully converged the index by now, so they
+        // measure the shared-lock read path and the structure-restoring
+        // recovery (which must replay with zero cracks).
         std::vector<ScalingPoint> scaling;
+        RecoveryPoint recovery;
+        bool have_recovery = false;
         if (workload == "uniform" && index->name() == "QUASII") {
           scaling = MeasureScaling(index.get(), ops);
+          QuasiiIndex<3> fresh(data);
+          const std::string snapshot_path =
+              "quasii_microbench_" + std::to_string(getpid()) + "_" +
+              std::to_string(e) + ".snapshot";
+          recovery = MeasureRecovery(*index, &fresh, ops,
+                                     run.post_workload.checksum,
+                                     snapshot_path);
+          have_recovery = true;
         }
-        WriteMicroRun(&w, run, scaling.empty() ? nullptr : &scaling);
+        WriteMicroRun(&w, run, scaling.empty() ? nullptr : &scaling,
+                      have_recovery ? &recovery : nullptr);
       }
       w.EndArray();
       w.EndObject();

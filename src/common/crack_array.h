@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/dataset.h"
 #include "common/query.h"
 #include "geometry/box.h"
@@ -408,6 +410,104 @@ class CrackArray {
       r.frozen = r.pos == end;  // every key equals the pivot
     }
     return r;
+  }
+
+  /// Serializes the full column set — keys, bounds, ids, liveness, and the
+  /// pending boundary — for snapshot structure blobs. Columns are written
+  /// verbatim (not re-derived from a store) because dead rows must survive:
+  /// a tombstoned id may have been re-inserted with a different box, so its
+  /// stale row's keys exist nowhere else.
+  void EncodeTo(ByteWriter* w) const {
+    const std::size_t n = ids_.size();
+    w->U64(n);
+    w->U64(pending_begin_);
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      for (std::size_t i = 0; i < n; ++i) w->F(keys_[dd][i]);
+      for (std::size_t i = 0; i < n; ++i) w->F(los_[dd][i]);
+      for (std::size_t i = 0; i < n; ++i) w->F(his_[dd][i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) w->U32(ids_[i]);
+    w->Bytes(live_.data(), n);
+  }
+
+  /// Rebuilds the array from an `EncodeTo` blob: columns are read back and
+  /// the derived state (id → row map, tombstone count) is reconstructed.
+  /// False on truncated input or an id owning two live rows.
+  bool DecodeFrom(ByteReader* r) {
+    Clear();
+    const std::uint64_t n64 = r->U64();
+    const std::uint64_t pending = r->U64();
+    if (!r->ok() || pending > n64) return false;
+    // A row is at least (3 * D) Scalars + id + live byte; reject counts the
+    // remaining input cannot possibly hold before allocating.
+    const std::size_t row_bytes = 3 * D * sizeof(Scalar) + 4 + 1;
+    if (n64 > r->remaining() / row_bytes) return false;
+    const std::size_t n = static_cast<std::size_t>(n64);
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      keys_[dd].resize(n);
+      los_[dd].resize(n);
+      his_[dd].resize(n);
+      for (std::size_t i = 0; i < n; ++i) keys_[dd][i] = r->F();
+      for (std::size_t i = 0; i < n; ++i) los_[dd][i] = r->F();
+      for (std::size_t i = 0; i < n; ++i) his_[dd][i] = r->F();
+    }
+    ids_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids_[i] = r->U32();
+    live_.resize(n);
+    if (n > 0 && !r->Bytes(live_.data(), n)) return false;
+    if (!r->ok()) return false;
+    pending_begin_ = static_cast<std::size_t>(pending);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!live_[i]) {
+        ++tombstones_;
+        continue;
+      }
+      const ObjectId id = ids_[i];
+      if (id >= row_of_.size()) {
+        row_of_.resize(static_cast<std::size_t>(id) + 1, kNoRow);
+      }
+      if (row_of_[id] != kNoRow) return false;  // two live rows for one id
+      row_of_[id] = i;
+    }
+    return true;
+  }
+
+  /// Column-agreement validator: every column has one entry per row, the
+  /// id → row map holds exactly the live rows, and the tombstone count
+  /// matches the live column. False fills `why` with the first violation.
+  bool CheckColumns(std::string* why) const {
+    const std::size_t n = ids_.size();
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      if (keys_[dd].size() != n || los_[dd].size() != n ||
+          his_[dd].size() != n) {
+        if (why) *why = "crack array: column lengths disagree";
+        return false;
+      }
+    }
+    if (live_.size() != n || pending_begin_ > n) {
+      if (why) *why = "crack array: live column or pending boundary invalid";
+      return false;
+    }
+    std::size_t dead = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!live_[i]) {
+        ++dead;
+        continue;
+      }
+      const ObjectId id = ids_[i];
+      if (id >= row_of_.size() || row_of_[id] != i) {
+        if (why) *why = "crack array: live row not in the id map";
+        return false;
+      }
+    }
+    if (dead != tombstones_) {
+      if (why) *why = "crack array: tombstone count disagrees";
+      return false;
+    }
+    return true;
   }
 
  private:

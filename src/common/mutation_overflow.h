@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/object_store.h"
 #include "common/query.h"
 #include "common/query_stats.h"
@@ -93,6 +94,34 @@ class MutationOverflow {
     for (const ObjectId id : pending_) {
       if (MatchesPredicate(store.box(id), q, predicate)) emit->Add(id);
     }
+  }
+
+  /// Snapshot serialization: the pending list and the dead bitmap (the
+  /// position map and dead count are derived on decode).
+  void EncodeTo(ByteWriter* w) const {
+    w->U64(pending_.size());
+    for (const ObjectId id : pending_) w->U32(id);
+    w->U64(dead_.size());
+    w->Bytes(dead_.data(), dead_.size());
+  }
+
+  bool DecodeFrom(ByteReader* r) {
+    pending_.clear();
+    std::fill(pending_pos_.begin(), pending_pos_.end(), kNone);
+    const std::uint64_t n_pending = r->U64();
+    if (!r->ok() || n_pending > r->remaining() / 4) return false;
+    for (std::uint64_t i = 0; i < n_pending; ++i) {
+      const ObjectId id = r->U32();
+      if (id < pending_pos_.size() && pending_pos_[id] != kNone) return false;
+      AddPending(id);
+    }
+    const std::uint64_t n_dead = r->U64();
+    if (!r->ok() || n_dead > r->remaining()) return false;
+    dead_.resize(static_cast<std::size_t>(n_dead));
+    if (n_dead > 0 && !r->Bytes(dead_.data(), dead_.size())) return false;
+    dead_count_ = 0;
+    for (const std::uint8_t d : dead_) dead_count_ += d != 0;
+    return r->ok();
   }
 
  private:

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "geometry/box.h"
@@ -112,6 +114,50 @@ class ObjectStore {
   /// eagerly: inserts expand it in place, erases of boundary boxes
   /// recompute it on the spot.
   const Box<D>& bounds() const { return bounds_; }
+
+  /// Recovery entry point (`src/persist/`): replaces the whole population
+  /// with snapshot state — the slot table, the liveness column, and the
+  /// mutation epoch (the snapshot's LSN, so WAL replay continues exactly
+  /// where the snapshot left off). Always lands in owned mode, even when
+  /// the snapshot was taken from an unmutated view: recovery severs any
+  /// tie to a caller's dataset vector. Live count and bounds are
+  /// re-derived. Not thread-safe (nothing may query during recovery).
+  void RestoreSlots(std::vector<Box<D>> boxes, std::vector<std::uint8_t> alive,
+                    std::uint64_t version) {
+    boxes_ = std::move(boxes);
+    alive_ = std::move(alive);
+    alive_.resize(boxes_.size(), 0);
+    view_ = nullptr;
+    live_count_ = 0;
+    for (const std::uint8_t a : alive_) live_count_ += a != 0;
+    RecomputeBounds();
+    version_.store(version, std::memory_order_release);
+  }
+
+  /// Structural self-check: the liveness column, live count, and
+  /// eagerly-maintained bounds agree. False fills `why` (when non-null)
+  /// with the first violation. Debug/recovery validation — O(live).
+  bool CheckInvariants(std::string* why) const {
+    if (!view_ && alive_.size() != boxes_.size()) {
+      if (why) *why = "object store: alive column size != slot count";
+      return false;
+    }
+    std::size_t live = 0;
+    Box<D> mbb = Box<D>::Empty();
+    ForEachLive([&](ObjectId, const Box<D>& b) {
+      ++live;
+      mbb.ExpandToInclude(b);
+    });
+    if (live != live_count_) {
+      if (why) *why = "object store: live_count disagrees with live column";
+      return false;
+    }
+    if (live > 0 && !(mbb == bounds_)) {
+      if (why) *why = "object store: bounds are not the exact live MBB";
+      return false;
+    }
+    return true;
+  }
 
   /// Invokes `fn(id, box)` for every live object, in ascending id order.
   template <typename Fn>

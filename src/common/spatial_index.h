@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -122,6 +123,45 @@ class SpatialIndex {
 
   /// The index's view of the object population (live set, boxes, bounds).
   const ObjectStore<D>& store() const { return store_; }
+
+  /// --- Persistence surface (used by `src/persist/`) ---
+  ///
+  /// Serializes the index's internal structure (everything beyond the
+  /// store: crack columns, slice trees, packed nodes) into `out` and
+  /// returns true. The default returns false: the index declares
+  /// *rebuild-from-store* and a snapshot carries only the object table.
+  /// Not thread-safe — call while no query is in flight.
+  virtual bool SaveStructure(std::string* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores structure previously produced by `SaveStructure`, after the
+  /// store has been restored via `RestoreSlots`. Returns false when the
+  /// blob is inconsistent — the caller must treat the index as unusable
+  /// (recovery surfaces this as a typed error). Not thread-safe.
+  virtual bool LoadStructure(const std::string& bytes) {
+    (void)bytes;
+    return false;
+  }
+
+  /// Store-only restore path: re-derives the structure from the restored
+  /// store. Static indexes rebuild eagerly; lazily-initialized ones reset
+  /// so their next query re-reads the store. Not thread-safe.
+  virtual void RebuildFromStore() { Build(); }
+
+  /// Structural self-check for recovery validation and test teardown:
+  /// true when the index's invariants hold against its store. Overrides
+  /// extend the base (store-only) check with index-specific structure
+  /// validation. False fills `why` (when non-null) with the first
+  /// violation. Not thread-safe, potentially O(n).
+  virtual bool CheckInvariants(std::string* why = nullptr) const {
+    return store_.CheckInvariants(why);
+  }
+
+  /// Mutable store access for recovery's `RestoreSlots` — the one caller
+  /// allowed to bypass the `Insert`/`Erase` protocol. Single-threaded.
+  ObjectStore<D>& MutableStoreForRecovery() { return store_; }
 
   /// Typed query execution: the one entry point every id-producing query
   /// funnels through (joins produce pairs — use the `PairSink` overload).

@@ -59,6 +59,10 @@ class MosaicIndex final : public SpatialIndex<D> {
   /// Incremental index: all structure is built inside query execution.
   void Build() override {}
 
+  /// Rebuild-from-store restore (no structure blob): reset so the next
+  /// query re-reads the recovered store wholesale.
+  void RebuildFromStore() override { initialized_ = false; }
+
   const Node& root() const { return root_; }
   bool initialized() const { return initialized_; }
 

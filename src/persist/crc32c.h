@@ -1,0 +1,37 @@
+#ifndef QUASII_PERSIST_CRC32C_H_
+#define QUASII_PERSIST_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace quasii::persist {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// framing every WAL record and snapshot payload. Table-driven software
+/// implementation: persistence is not a hot path here, and a portable
+/// byte-at-a-time loop keeps the on-disk format independent of CPU
+/// features.
+inline std::uint32_t Crc32c(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace quasii::persist
+
+#endif  // QUASII_PERSIST_CRC32C_H_

@@ -1,0 +1,79 @@
+#ifndef QUASII_PERSIST_ERRORS_H_
+#define QUASII_PERSIST_ERRORS_H_
+
+#include <ostream>
+
+namespace quasii::persist {
+
+/// Typed outcome of every persistence operation. Corrupt or mismatched
+/// input is *refused* with one of these — never undefined behaviour, never
+/// a partial restore: on any non-`kNone` result the target index must be
+/// treated as unusable and discarded.
+enum class PersistError {
+  kNone = 0,
+  /// Filesystem-level failure (open/read/write/fsync/rename/truncate).
+  kIo,
+  /// The file does not start with the expected magic number.
+  kBadMagic,
+  /// Recognized file, unsupported format version.
+  kBadFormatVersion,
+  /// The file was written for a different dimensionality or scalar width.
+  kDimensionMismatch,
+  /// The snapshot belongs to a different index type than the target.
+  kIndexKindMismatch,
+  /// The snapshot file ends before its declared payload does.
+  kSnapshotTruncated,
+  /// Snapshot checksum mismatch or inconsistent payload framing.
+  kSnapshotCorrupt,
+  /// The store section decoded but the index's structure blob did not.
+  kStructureCorrupt,
+  /// A complete WAL record failed its CRC or has inconsistent framing.
+  kWalRecordCorrupt,
+  /// WAL LSNs are not the contiguous successors of the recovered version.
+  kWalLsnGap,
+  /// A replayed mutation was rejected by the store (duplicate insert,
+  /// erase of a non-live id) — log and snapshot disagree about history.
+  kReplayRejected,
+  /// The recovered index failed its structural self-check.
+  kInvariantViolation,
+};
+
+inline const char* PersistErrorName(PersistError e) {
+  switch (e) {
+    case PersistError::kNone:
+      return "none";
+    case PersistError::kIo:
+      return "io";
+    case PersistError::kBadMagic:
+      return "bad_magic";
+    case PersistError::kBadFormatVersion:
+      return "bad_format_version";
+    case PersistError::kDimensionMismatch:
+      return "dimension_mismatch";
+    case PersistError::kIndexKindMismatch:
+      return "index_kind_mismatch";
+    case PersistError::kSnapshotTruncated:
+      return "snapshot_truncated";
+    case PersistError::kSnapshotCorrupt:
+      return "snapshot_corrupt";
+    case PersistError::kStructureCorrupt:
+      return "structure_corrupt";
+    case PersistError::kWalRecordCorrupt:
+      return "wal_record_corrupt";
+    case PersistError::kWalLsnGap:
+      return "wal_lsn_gap";
+    case PersistError::kReplayRejected:
+      return "replay_rejected";
+    case PersistError::kInvariantViolation:
+      return "invariant_violation";
+  }
+  return "unknown";
+}
+
+inline std::ostream& operator<<(std::ostream& os, PersistError e) {
+  return os << PersistErrorName(e);
+}
+
+}  // namespace quasii::persist
+
+#endif  // QUASII_PERSIST_ERRORS_H_

@@ -1,0 +1,88 @@
+#ifndef QUASII_PERSIST_FAILPOINT_H_
+#define QUASII_PERSIST_FAILPOINT_H_
+
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace quasii::persist {
+
+/// Exit code crash sites use, so a fault-injection harness can tell an
+/// injected crash apart from an assertion failure or a signal.
+inline constexpr int kCrashExitCode = 42;
+
+/// Terminates the process immediately — no atexit handlers, no buffer
+/// flushes, no destructor-driven fsyncs. The closest a test can get to
+/// pulling the plug at a chosen instruction.
+[[noreturn]] inline void CrashNow() { std::_Exit(kCrashExitCode); }
+
+/// Deterministic fault-injection registry. Persistence code plants named
+/// sites (`FailPoints::Hit("wal_short_write")`); a test arms a site with a
+/// counted trigger and the site fires on exactly its N-th hit — never
+/// randomly, so every injected failure is replayable.
+///
+/// Arming: `FailPoints::Instance().Arm("wal_short_write=3")` (comma-
+/// separated list; the count is 1-based, `name` alone means `name=1`), or
+/// via the `QUASII_FAILPOINTS` environment variable through `ArmFromEnv()`.
+/// What a firing site *does* — short write, failed fsync, bit flip,
+/// `CrashNow()` — is decided by the site itself.
+///
+/// Single-threaded by design, like all persistence paths (the bench driver
+/// restricts durability runs to `--threads=1`).
+class FailPoints {
+ public:
+  static FailPoints& Instance() {
+    static FailPoints instance;
+    return instance;
+  }
+
+  /// Parses and arms a trigger spec. Returns false (leaving prior arms in
+  /// place) on a malformed spec.
+  bool Arm(const std::string& spec) {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+      if (end > start) {
+        const std::string item = spec.substr(start, end - start);
+        const std::size_t eq = item.find('=');
+        std::string name = item.substr(0, eq);
+        long long count = 1;
+        if (eq != std::string::npos) {
+          const std::string num = item.substr(eq + 1);
+          char* parse_end = nullptr;
+          count = std::strtoll(num.c_str(), &parse_end, 10);
+          if (num.empty() || *parse_end != '\0' || count <= 0) return false;
+        }
+        if (name.empty()) return false;
+        armed_[name] = count;
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return true;
+  }
+
+  void ArmFromEnv() {
+    if (const char* spec = std::getenv("QUASII_FAILPOINTS")) Arm(spec);
+  }
+
+  void Clear() { armed_.clear(); }
+
+  /// Counts a hit of the named site; true exactly once, on the armed hit.
+  static bool Hit(const char* name) { return Instance().HitImpl(name); }
+
+ private:
+  bool HitImpl(const char* name) {
+    if (armed_.empty()) return false;
+    auto it = armed_.find(name);
+    if (it == armed_.end()) return false;
+    return --it->second == 0;  // goes negative afterwards: fires once
+  }
+
+  std::unordered_map<std::string, long long> armed_;
+};
+
+}  // namespace quasii::persist
+
+#endif  // QUASII_PERSIST_FAILPOINT_H_

@@ -1,0 +1,125 @@
+#ifndef QUASII_PERSIST_RECOVERY_H_
+#define QUASII_PERSIST_RECOVERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/spatial_index.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace quasii::persist {
+
+struct RecoveryResult {
+  PersistError error = PersistError::kNone;
+  /// Extra context for diagnostics (invariant message, rejected LSN, ...).
+  std::string detail;
+  bool snapshot_loaded = false;
+  /// The snapshot carried a structure blob the index accepted (vs a
+  /// rebuild-from-store restore).
+  bool structure_restored = false;
+  std::uint64_t snapshot_lsn = 0;
+  std::size_t wal_records = 0;
+  std::size_t wal_replayed = 0;
+  /// A torn trailing record was detected and physically truncated away.
+  bool wal_tail_truncated = false;
+  /// `ObjectStore::version()` after recovery — the LSN the next WAL append
+  /// will succeed.
+  std::uint64_t recovered_lsn = 0;
+
+  bool ok() const { return error == PersistError::kNone; }
+};
+
+/// Restores `index` from the newest valid snapshot at `snapshot_path` (if
+/// any) plus the WAL tail at `wal_path` (if any), in that order:
+///
+///   1. load + validate the snapshot; restore the store slots and either
+///      the index's serialized structure or a rebuild-from-store;
+///   2. parse the WAL, truncating a torn trailing record (the residue of a
+///      crash mid-append) — any other damage is refused with a typed error;
+///   3. replay every record with `lsn > snapshot lsn` through the index's
+///      normal `Insert`/`Erase` path, requiring exact LSN continuity;
+///   4. run `CheckInvariants` on the result.
+///
+/// Either path may be empty (snapshot-only restore, WAL-only replay). On
+/// any non-`kNone` result the index is unusable and must be discarded —
+/// recovery never leaves it half-restored silently.
+template <int D>
+RecoveryResult RecoverIndex(SpatialIndex<D>* index,
+                            const std::string& snapshot_path,
+                            const std::string& wal_path) {
+  RecoveryResult out;
+  if (!snapshot_path.empty()) {
+    SnapshotContents<D> snap = ReadSnapshot<D>(snapshot_path);
+    if (snap.error != PersistError::kNone) {
+      out.error = snap.error;
+      return out;
+    }
+    if (snap.exists) {
+      if (snap.kind != index->name()) {
+        out.error = PersistError::kIndexKindMismatch;
+        out.detail = "snapshot of '" + snap.kind + "'";
+        return out;
+      }
+      index->MutableStoreForRecovery().RestoreSlots(
+          std::move(snap.boxes), std::move(snap.alive), snap.lsn);
+      if (snap.has_structure && index->LoadStructure(snap.structure)) {
+        out.structure_restored = true;
+      } else if (snap.has_structure) {
+        out.error = PersistError::kStructureCorrupt;
+        return out;
+      } else {
+        index->RebuildFromStore();
+      }
+      out.snapshot_loaded = true;
+      out.snapshot_lsn = snap.lsn;
+    }
+  }
+  if (!wal_path.empty()) {
+    WalContents<D> wal = ReadWal<D>(wal_path);
+    if (wal.error != PersistError::kNone) {
+      out.error = wal.error;
+      return out;
+    }
+    if (wal.truncated_tail) {
+      out.wal_tail_truncated = true;
+      if (TruncateFile(wal_path, wal.valid_bytes) != PersistError::kNone) {
+        out.error = PersistError::kIo;
+        return out;
+      }
+    }
+    out.wal_records = wal.records.size();
+    for (const WalRecord<D>& rec : wal.records) {
+      const std::uint64_t version = index->store().version();
+      if (rec.lsn <= version) continue;  // covered by the snapshot
+      if (rec.lsn != version + 1) {
+        out.error = PersistError::kWalLsnGap;
+        out.detail = "lsn " + std::to_string(rec.lsn) + " after version " +
+                     std::to_string(version);
+        return out;
+      }
+      const bool applied = rec.op == WalOp::kInsert
+                               ? index->Insert(rec.id, rec.box)
+                               : index->Erase(rec.id);
+      if (!applied) {
+        out.error = PersistError::kReplayRejected;
+        out.detail = "lsn " + std::to_string(rec.lsn);
+        return out;
+      }
+      ++out.wal_replayed;
+    }
+  }
+  std::string why;
+  if (!index->CheckInvariants(&why)) {
+    out.error = PersistError::kInvariantViolation;
+    out.detail = why;
+    return out;
+  }
+  out.recovered_lsn = index->store().version();
+  return out;
+}
+
+}  // namespace quasii::persist
+
+#endif  // QUASII_PERSIST_RECOVERY_H_

@@ -1,0 +1,274 @@
+#ifndef QUASII_PERSIST_WAL_H_
+#define QUASII_PERSIST_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "geometry/box.h"
+#include "persist/crc32c.h"
+#include "persist/failpoint.h"
+#include "persist/io.h"
+
+namespace quasii::persist {
+
+/// On-disk WAL layout:
+///
+///   header  [u32 magic "QWAL"] [u32 format] [u32 D] [u32 sizeof(Scalar)]
+///   record* [u32 payload_len] [u32 crc32c(payload)] [payload]
+///   payload [u64 lsn] [u8 op] [u32 id] [2*D Scalars box — insert only]
+///
+/// LSN discipline: only *accepted* mutations are logged, and each record's
+/// LSN is `ObjectStore::version()` after the mutation — so a log over a
+/// fresh store carries exactly 1, 2, 3, ... and recovery can both skip the
+/// snapshot-covered prefix (`lsn <= snapshot lsn`) and refuse gaps.
+///
+/// Both payload lengths are fixed per op, which makes corruption detection
+/// exact: a frame whose declared length is neither valid value is corrupt
+/// when followed by more bytes, torn when it runs past EOF.
+
+inline constexpr std::uint32_t kWalMagic = 0x4C415751u;  // "QWAL"
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+inline constexpr std::size_t kWalHeaderSize = 16;
+
+enum class WalOp : std::uint8_t { kInsert = 1, kErase = 2 };
+
+enum class FsyncPolicy { kEveryOp, kEveryN, kNone };
+
+inline const char* FsyncPolicyName(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kEveryOp:
+      return "every_op";
+    case FsyncPolicy::kEveryN:
+      return "every_n";
+    case FsyncPolicy::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+template <int D>
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  WalOp op = WalOp::kInsert;
+  ObjectId id = 0;
+  Box<D> box;  // meaningful for inserts only
+};
+
+template <int D>
+constexpr std::size_t WalErasePayloadSize() {
+  return 8 + 1 + 4;
+}
+
+template <int D>
+constexpr std::size_t WalInsertPayloadSize() {
+  return WalErasePayloadSize<D>() + 2 * D * sizeof(Scalar);
+}
+
+/// Appender with a group-commit fsync policy. Fault-injection sites:
+/// `wal_crash_before_append`, `wal_crash_after_append` (process dies around
+/// the write), `wal_short_write` (half a frame reaches the file, then the
+/// process dies), `wal_bitflip` (a payload byte is flipped *after* the CRC
+/// is computed — the record lands corrupt), `wal_fsync_fail` (the barrier
+/// reports failure without syncing).
+template <int D>
+class WalWriter {
+ public:
+  /// Opens (creating or appending to) the log. A fresh or empty file gets
+  /// the header; appending to an existing log assumes the caller recovered
+  /// from it first (so the tail is known-valid and truncated).
+  PersistError Open(const std::string& path, FsyncPolicy policy,
+                    std::size_t every_n) {
+    policy_ = policy;
+    every_n_ = every_n == 0 ? 1 : every_n;
+    std::string existing;
+    const ReadFileResult r = ReadFile(path, &existing);
+    if (r == ReadFileResult::kError) return PersistError::kIo;
+    const bool fresh = r == ReadFileResult::kNotFound || existing.empty();
+    if (!file_.OpenWrite(path, /*truncate=*/false)) return PersistError::kIo;
+    if (fresh) {
+      std::string header;
+      ByteWriter w(&header);
+      w.U32(kWalMagic);
+      w.U32(kWalFormatVersion);
+      w.U32(static_cast<std::uint32_t>(D));
+      w.U32(static_cast<std::uint32_t>(sizeof(Scalar)));
+      const PersistError err = file_.WriteAll(
+          header.data(), header.size(), /*short_write_failpoint=*/nullptr);
+      if (err != PersistError::kNone) return err;
+      bytes_written_ += header.size();
+    }
+    return PersistError::kNone;
+  }
+
+  PersistError Append(const WalRecord<D>& rec) {
+    if (FailPoints::Hit("wal_crash_before_append")) CrashNow();
+    frame_.clear();
+    std::string& payload = payload_;
+    payload.clear();
+    ByteWriter pw(&payload);
+    pw.U64(rec.lsn);
+    pw.U8(static_cast<std::uint8_t>(rec.op));
+    pw.U32(rec.id);
+    if (rec.op == WalOp::kInsert) PutBox<D>(&pw, rec.box);
+    ByteWriter fw(&frame_);
+    fw.U32(static_cast<std::uint32_t>(payload.size()));
+    fw.U32(Crc32c(payload.data(), payload.size()));
+    fw.Bytes(payload.data(), payload.size());
+    if (FailPoints::Hit("wal_bitflip")) frame_[frame_.size() / 2] ^= 0x20;
+    const PersistError err =
+        file_.WriteAll(frame_.data(), frame_.size(), "wal_short_write");
+    if (err != PersistError::kNone) return err;
+    bytes_written_ += frame_.size();
+    ++records_appended_;
+    ++unsynced_;
+    if (FailPoints::Hit("wal_crash_after_append")) CrashNow();
+    if (policy_ == FsyncPolicy::kEveryOp ||
+        (policy_ == FsyncPolicy::kEveryN && unsynced_ >= every_n_)) {
+      return Sync();
+    }
+    return PersistError::kNone;
+  }
+
+  /// Group-commit barrier: makes every appended record durable.
+  PersistError Sync() {
+    if (unsynced_ == 0) return PersistError::kNone;
+    const PersistError err = file_.Sync("wal_fsync_fail");
+    if (err != PersistError::kNone) return err;
+    unsynced_ = 0;
+    ++syncs_;
+    return PersistError::kNone;
+  }
+
+  void Close() { file_.Close(); }
+
+  std::uint64_t records_appended() const { return records_appended_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t syncs() const { return syncs_; }
+
+ private:
+  FileHandle file_;
+  FsyncPolicy policy_ = FsyncPolicy::kEveryOp;
+  std::size_t every_n_ = 1;
+  std::size_t unsynced_ = 0;
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::string payload_;
+  std::string frame_;
+};
+
+template <int D>
+struct WalContents {
+  bool exists = false;
+  std::vector<WalRecord<D>> records;
+  /// Prefix length (bytes) of the header plus every valid record — the
+  /// truncation target when the tail is torn.
+  std::uint64_t valid_bytes = 0;
+  /// An incomplete final frame was dropped (the crash-mid-append case).
+  bool truncated_tail = false;
+  PersistError error = PersistError::kNone;
+};
+
+/// Parses a WAL file. A frame that runs past EOF is a *torn tail* — the
+/// expected residue of a crash mid-append — and is dropped with
+/// `truncated_tail` set; the prefix before it stays usable. A complete
+/// frame that fails its CRC (or declares an impossible length with more
+/// data following, or breaks LSN continuity) is *corruption* and refuses
+/// the whole log with a typed error.
+template <int D>
+WalContents<D> ReadWal(const std::string& path) {
+  WalContents<D> out;
+  std::string raw;
+  const ReadFileResult r = ReadFile(path, &raw);
+  if (r == ReadFileResult::kNotFound) return out;
+  if (r == ReadFileResult::kError) {
+    out.error = PersistError::kIo;
+    return out;
+  }
+  out.exists = true;
+  if (raw.empty()) return out;
+  if (raw.size() < kWalHeaderSize) {
+    // Crash while writing the header itself: nothing usable yet.
+    out.truncated_tail = true;
+    return out;
+  }
+  ByteReader hr(raw.data(), kWalHeaderSize);
+  if (hr.U32() != kWalMagic) {
+    out.error = PersistError::kBadMagic;
+    return out;
+  }
+  if (hr.U32() != kWalFormatVersion) {
+    out.error = PersistError::kBadFormatVersion;
+    return out;
+  }
+  if (hr.U32() != static_cast<std::uint32_t>(D) ||
+      hr.U32() != static_cast<std::uint32_t>(sizeof(Scalar))) {
+    out.error = PersistError::kDimensionMismatch;
+    return out;
+  }
+  out.valid_bytes = kWalHeaderSize;
+
+  std::size_t pos = kWalHeaderSize;
+  std::uint64_t prev_lsn = 0;
+  while (pos < raw.size()) {
+    const std::size_t remaining = raw.size() - pos;
+    if (remaining < 8) {
+      out.truncated_tail = true;
+      break;
+    }
+    ByteReader fr(raw.data() + pos, remaining);
+    const std::uint32_t len = fr.U32();
+    const std::uint32_t crc = fr.U32();
+    const bool len_valid = len == WalInsertPayloadSize<D>() ||
+                           len == WalErasePayloadSize<D>();
+    if (8 + static_cast<std::size_t>(len) > remaining) {
+      // Frame runs past EOF. With a valid length this is the classic torn
+      // append; with garbage it is still unprovable either way — but no
+      // complete record follows, so truncating loses nothing durable.
+      out.truncated_tail = true;
+      break;
+    }
+    if (!len_valid) {
+      out.error = PersistError::kWalRecordCorrupt;
+      return out;
+    }
+    const char* payload = raw.data() + pos + 8;
+    if (Crc32c(payload, len) != crc) {
+      out.error = PersistError::kWalRecordCorrupt;
+      return out;
+    }
+    ByteReader pr(payload, len);
+    WalRecord<D> rec;
+    rec.lsn = pr.U64();
+    const std::uint8_t op = pr.U8();
+    rec.id = pr.U32();
+    if (op == static_cast<std::uint8_t>(WalOp::kInsert) &&
+        len == WalInsertPayloadSize<D>()) {
+      rec.op = WalOp::kInsert;
+      rec.box = GetBox<D>(&pr);
+    } else if (op == static_cast<std::uint8_t>(WalOp::kErase) &&
+               len == WalErasePayloadSize<D>()) {
+      rec.op = WalOp::kErase;
+    } else {
+      out.error = PersistError::kWalRecordCorrupt;
+      return out;
+    }
+    if (!pr.ok() || rec.lsn == 0 ||
+        (prev_lsn != 0 && rec.lsn != prev_lsn + 1)) {
+      out.error = PersistError::kWalLsnGap;
+      return out;
+    }
+    prev_lsn = rec.lsn;
+    out.records.push_back(rec);
+    pos += 8 + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace quasii::persist
+
+#endif  // QUASII_PERSIST_WAL_H_

@@ -7,10 +7,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/crack_array.h"
 #include "common/dataset.h"
 #include "common/query.h"
@@ -125,6 +127,87 @@ class QuasiiIndex final : public SpatialIndex<D> {
     return threshold_[static_cast<std::size_t>(level)];
   }
   bool initialized() const { return initialized_; }
+
+  /// Snapshot structure blob: the crack-array columns plus the slice
+  /// hierarchy, so a recovered index resumes exactly as converged as it
+  /// was — a replayed query workload cracks nothing.
+  bool SaveStructure(std::string* out) const override {
+    ByteWriter w(out);
+    w.U8(initialized_ ? 1 : 0);
+    if (!initialized_) return true;
+    array_.EncodeTo(&w);
+    for (int d = 0; d < D; ++d) w.F(half_extent_[d]);
+    EncodeSlices(root_, &w);
+    return true;
+  }
+
+  bool LoadStructure(const std::string& bytes) override {
+    ByteReader r(bytes);
+    const bool init = r.U8() != 0;
+    if (!r.ok()) return false;
+    if (!init) {
+      // Captured before the first query: stay lazy, initialize on demand.
+      RebuildFromStore();
+      return r.remaining() == 0;
+    }
+    if (!array_.DecodeFrom(&r)) return false;
+    for (int d = 0; d < D; ++d) half_extent_[d] = r.F();
+    root_.clear();
+    if (!DecodeSlices(&r, /*level=*/0, array_.size(), &root_) || !r.ok() ||
+        r.remaining() != 0) {
+      RebuildFromStore();  // leave no half-decoded structure behind
+      return false;
+    }
+    ComputeThresholds(LiveRows());
+    initialized_ = true;
+    return true;
+  }
+
+  void RebuildFromStore() override {
+    initialized_ = false;
+    array_.Clear();
+    root_.clear();
+    half_extent_ = Point<D>{};
+  }
+
+  /// Extends the store check with crack-array column agreement, the
+  /// live-row ↔ store bijection (every live row's id is alive and its
+  /// columns match the store's box bit-for-bit), slice-range tiling, and
+  /// key containment in every slice's value interval.
+  bool CheckInvariants(std::string* why = nullptr) const override {
+    if (!SpatialIndex<D>::CheckInvariants(why)) return false;
+    if (!initialized_) return true;
+    if (!array_.CheckColumns(why)) return false;
+    std::size_t live_rows = 0;
+    for (std::size_t i = 0; i < array_.size(); ++i) {
+      if (!array_.live(i)) continue;
+      ++live_rows;
+      const ObjectId id = array_.id(i);
+      if (!this->store_.alive(id)) {
+        if (why) *why = "quasii: live row for a non-live id";
+        return false;
+      }
+      const Box<D>& b = this->store_.box(id);
+      for (int d = 0; d < D; ++d) {
+        if (array_.key(d, i) != CrackArray<D>::CenterKey(b, d) ||
+            array_.lo_col(d)[i] != b.lo[d] || array_.hi_col(d)[i] != b.hi[d]) {
+          if (why) *why = "quasii: row columns disagree with the store box";
+          return false;
+        }
+      }
+    }
+    if (live_rows != this->store_.live_count()) {
+      if (why) *why = "quasii: live rows != store live count";
+      return false;
+    }
+    if (threshold_ != ThresholdsFor(LiveRows(), params_.leaf_threshold)) {
+      if (why) *why = "quasii: thresholds not derived from the live count";
+      return false;
+    }
+    // The pending tail is structure-less by definition; slices must tile
+    // the structured prefix exactly.
+    return CheckSlices(root_, 0, array_.pending_begin(), 0, why);
+  }
 
   /// A query is converged — safe to execute concurrently under the shared
   /// lock — when nothing about its execution can reorganize: the array is
@@ -351,18 +434,118 @@ class QuasiiIndex final : public SpatialIndex<D> {
     array_.SealPending();
   }
 
-  void ComputeThresholds(std::size_t n) {
-    const double tau = static_cast<double>(params_.leaf_threshold);
-    const double rho =
-        n > params_.leaf_threshold
-            ? std::pow(static_cast<double>(n) / tau, 1.0 / D)
-            : 1.0;
+  static std::array<std::size_t, D> ThresholdsFor(std::size_t n,
+                                                  std::size_t leaf_threshold) {
+    std::array<std::size_t, D> out{};
+    const double tau = static_cast<double>(leaf_threshold);
+    const double rho = n > leaf_threshold
+                           ? std::pow(static_cast<double>(n) / tau, 1.0 / D)
+                           : 1.0;
     double t = tau;
     for (int d = D - 1; d >= 0; --d) {
-      threshold_[static_cast<std::size_t>(d)] =
+      out[static_cast<std::size_t>(d)] =
           static_cast<std::size_t>(std::ceil(t));
       t *= rho;
     }
+    return out;
+  }
+
+  void ComputeThresholds(std::size_t n) {
+    threshold_ = ThresholdsFor(n, params_.leaf_threshold);
+  }
+
+  /// Preorder slice serialization: per slice its range, value interval,
+  /// frozen flag, and (recursively) its children. Levels are implied by
+  /// depth.
+  void EncodeSlices(const std::vector<Slice>& slices, ByteWriter* w) const {
+    w->U64(slices.size());
+    for (const Slice& s : slices) {
+      w->U64(s.begin);
+      w->U64(s.end);
+      w->F(s.lo);
+      w->F(s.hi);
+      w->U8(s.frozen ? 1 : 0);
+      EncodeSlices(s.children, w);
+    }
+  }
+
+  /// Decodes one slice list, validating as it goes: ranges inside
+  /// `array_bound`, recursion no deeper than `D` levels, and a child-list
+  /// size the remaining input can actually hold (so corrupt counts fail
+  /// fast instead of allocating).
+  bool DecodeSlices(ByteReader* r, int level, std::size_t array_bound,
+                    std::vector<Slice>* out) {
+    constexpr std::size_t kMinSliceBytes = 8 + 8 + 2 * sizeof(Scalar) + 1 + 8;
+    const std::uint64_t count = r->U64();
+    if (!r->ok() || count > r->remaining() / kMinSliceBytes + 1) return false;
+    if (count > 0 && level >= D) return false;
+    out->reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Slice s;
+      s.level = level;
+      s.begin = static_cast<std::size_t>(r->U64());
+      s.end = static_cast<std::size_t>(r->U64());
+      s.lo = r->F();
+      s.hi = r->F();
+      s.frozen = r->U8() != 0;
+      if (!r->ok() || s.begin > s.end || s.end > array_bound) return false;
+      if (!DecodeSlices(r, level + 1, s.end, &s.children)) return false;
+      out->push_back(std::move(s));
+    }
+    return true;
+  }
+
+  /// Structural slice-tree validation: a sibling list tiles `[begin, end)`
+  /// contiguously and in position order; children sit one level deeper and
+  /// tile their parent; every row of a slice has its key inside the
+  /// slice's value interval — except the parked-dead slices
+  /// (`lo == hi == +inf`), which must hold only tombstoned rows.
+  bool CheckSlices(const std::vector<Slice>& slices, std::size_t begin,
+                   std::size_t end, int level, std::string* why) const {
+    constexpr Scalar kInf = std::numeric_limits<Scalar>::infinity();
+    std::size_t pos = begin;
+    for (const Slice& s : slices) {
+      if (s.level != level || s.begin != pos || s.end < s.begin ||
+          s.end > end) {
+        if (why) *why = "quasii: slice list does not tile its range";
+        return false;
+      }
+      pos = s.end;
+      const bool parked_dead = s.lo == kInf && s.hi == kInf;
+      if (!parked_dead && s.lo > s.hi) {
+        if (why) *why = "quasii: inverted slice value interval";
+        return false;
+      }
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        if (parked_dead) {
+          if (array_.live(i)) {
+            if (why) *why = "quasii: live row in a parked-dead slice";
+            return false;
+          }
+          continue;
+        }
+        const Scalar k = array_.key(level, i);
+        if (!(k >= s.lo && k < s.hi) && !(s.lo == s.hi && k == s.lo)) {
+          if (why) *why = "quasii: row key outside its slice interval";
+          return false;
+        }
+      }
+      if (!s.children.empty() &&
+          !CheckSlices(s.children, s.begin, s.end, level + 1, why)) {
+        return false;
+      }
+      if (!s.children.empty() &&
+          (s.children.front().begin != s.begin ||
+           s.children.back().end != s.end)) {
+        if (why) *why = "quasii: children do not cover their parent";
+        return false;
+      }
+    }
+    if (pos != end) {
+      if (why) *why = "quasii: slice list does not cover its range";
+      return false;
+    }
+    return true;
   }
 
   /// Two-sided partition of `[begin, end)` by `key < v` — one crack step.

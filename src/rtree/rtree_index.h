@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/dataset.h"
 #include "common/mutation_overflow.h"
 #include "common/query.h"
@@ -126,6 +128,92 @@ class RTreeIndex final : public SpatialIndex<D> {
   const std::vector<Entry<D>>& entries() const { return entries_; }
   const std::vector<std::vector<Node>>& levels() const { return levels_; }
   std::size_t depth() const { return levels_.size(); }
+
+  /// Snapshot structure blob: the STR-ordered entry array, every node
+  /// level, and the overflow lists — a recovered tree answers queries
+  /// without re-running the bulk load.
+  bool SaveStructure(std::string* out) const override {
+    ByteWriter w(out);
+    w.U8(built_ ? 1 : 0);
+    if (!built_) return true;
+    w.U64(entries_.size());
+    for (const Entry<D>& e : entries_) {
+      PutBox<D>(&w, e.box);
+      w.U32(e.id);
+    }
+    w.U64(levels_.size());
+    for (const std::vector<Node>& level : levels_) {
+      w.U64(level.size());
+      for (const Node& n : level) {
+        PutBox<D>(&w, n.box);
+        w.U64(n.begin);
+        w.U64(n.end);
+        w.U64(n.count);
+      }
+    }
+    overflow_.EncodeTo(&w);
+    return true;
+  }
+
+  bool LoadStructure(const std::string& bytes) override {
+    ByteReader r(bytes);
+    const bool built = r.U8() != 0;
+    if (!r.ok()) return false;
+    if (!built) {
+      RebuildFromStore();
+      return r.remaining() == 0;
+    }
+    entries_.clear();
+    levels_.clear();
+    built_ = false;
+    const std::uint64_t n_entries = r.U64();
+    constexpr std::size_t kEntryBytes = 2 * D * sizeof(Scalar) + 4;
+    if (!r.ok() || n_entries > r.remaining() / kEntryBytes) return false;
+    entries_.reserve(static_cast<std::size_t>(n_entries));
+    for (std::uint64_t i = 0; i < n_entries; ++i) {
+      Entry<D> e;
+      e.box = GetBox<D>(&r);
+      e.id = r.U32();
+      entries_.push_back(e);
+    }
+    const std::uint64_t n_levels = r.U64();
+    if (!r.ok() || n_levels == 0 || n_levels > 64) return false;
+    std::size_t below_size = entries_.size();
+    for (std::uint64_t l = 0; l < n_levels; ++l) {
+      const std::uint64_t n_nodes = r.U64();
+      constexpr std::size_t kNodeBytes = 2 * D * sizeof(Scalar) + 24;
+      if (!r.ok() || n_nodes > r.remaining() / kNodeBytes) return false;
+      std::vector<Node> level;
+      level.reserve(static_cast<std::size_t>(n_nodes));
+      for (std::uint64_t i = 0; i < n_nodes; ++i) {
+        Node n;
+        n.box = GetBox<D>(&r);
+        n.begin = static_cast<std::size_t>(r.U64());
+        n.end = static_cast<std::size_t>(r.U64());
+        n.count = static_cast<std::size_t>(r.U64());
+        // Child ranges must stay inside the level below (the empty-dataset
+        // root legitimately has begin == end == 0).
+        if (n.begin > n.end || n.end > below_size) return false;
+        level.push_back(n);
+      }
+      if (level.empty()) return false;
+      below_size = level.size();
+      levels_.push_back(std::move(level));
+    }
+    if (levels_.back().size() != 1) return false;
+    if (!overflow_.DecodeFrom(&r) || !r.ok() || r.remaining() != 0) {
+      RebuildFromStore();
+      return false;
+    }
+    built_ = true;
+    return true;
+  }
+
+  void RebuildFromStore() override {
+    entries_.clear();
+    levels_.clear();
+    built_ = false;  // the next query re-packs from the restored store
+  }
 
  protected:
   void OnInsert(ObjectId id, const Box<D>&) override {

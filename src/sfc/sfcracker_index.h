@@ -61,6 +61,10 @@ class SfcrackerIndex final : public SpatialIndex<D> {
   /// execution.
   void Build() override {}
 
+  /// Rebuild-from-store restore (no structure blob): reset so the next
+  /// query re-reads the recovered store wholesale.
+  void RebuildFromStore() override { initialized_ = false; }
+
   /// A box query is converged when every Z-interval it decomposes into has
   /// both of its crack boundaries already learned — then `CrackAt` is a
   /// pure map lookup and the interval scans (plus the read-only pending

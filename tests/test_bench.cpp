@@ -2,12 +2,18 @@
 // JSON and contain a result entry per index with per-query latencies and
 // cumulative stats.
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench.h"
+#include "bench/cli.h"
 #include "bench/json.h"
 #include "bench/workload.h"
 #include "tests/test_util.h"
@@ -322,6 +328,101 @@ void TestParseWorkloadMix() {
   }
 }
 
+/// The strict CLI parsers behind both drivers: whole-value-or-fail, never
+/// an atoi()-style silent prefix parse.
+void TestCliParsers() {
+  namespace cli = quasii::bench::cli;
+  std::uint64_t u = 99;
+  CHECK(cli::ParseU64("0", &u));
+  CHECK_EQ(u, 0u);
+  CHECK(cli::ParseU64("18446744073709551615", &u));
+  CHECK_EQ(u, 18446744073709551615ull);
+  CHECK(!cli::ParseU64("", &u));
+  CHECK(!cli::ParseU64("12abc", &u));
+  CHECK(!cli::ParseU64("-3", &u));
+  CHECK(!cli::ParseU64("+3", &u));
+  CHECK(!cli::ParseU64(" 3", &u));
+  CHECK(!cli::ParseU64("18446744073709551616", &u));  // overflow
+
+  std::int64_t i = 99;
+  CHECK(cli::ParseI64("-17", &i));
+  CHECK_EQ(i, -17);
+  CHECK(!cli::ParseI64("17.5", &i));
+  CHECK(!cli::ParseI64("9223372036854775808", &i));  // overflow
+
+  double d = 99;
+  CHECK(cli::ParseDouble("1e-3", &d));
+  CHECK_EQ(d, 1e-3);
+  CHECK(cli::ParseDouble("-0.5", &d));
+  CHECK_EQ(d, -0.5);
+  CHECK(!cli::ParseDouble("", &d));
+  CHECK(!cli::ParseDouble("0.5x", &d));
+  CHECK(!cli::ParseDouble("nan", &d));
+  CHECK(!cli::ParseDouble("inf", &d));
+
+  const auto parts = cli::SplitCommas("a,,b,c,");
+  CHECK_EQ(parts.size(), 3u);
+  CHECK_EQ(parts[0], "a");
+  CHECK_EQ(parts[2], "c");
+  CHECK(cli::SplitCommas("").empty());
+
+  cli::FlagArg f = cli::SplitFlag("--knn-k=10");
+  CHECK(f.is_flag);
+  CHECK(f.has_value);
+  CHECK_EQ(f.key, "knn-k");
+  CHECK_EQ(f.value, "10");
+  f = cli::SplitFlag("--recover");
+  CHECK(f.is_flag);
+  CHECK(!f.has_value);
+  CHECK_EQ(f.key, "recover");
+  f = cli::SplitFlag("--out=");
+  CHECK(f.has_value);
+  CHECK_EQ(f.value, "");
+  f = cli::SplitFlag("recover");
+  CHECK(!f.is_flag);
+  f = cli::SplitFlag("-n=3");
+  CHECK(!f.is_flag);
+}
+
+/// A durability-enabled run emits the v6 durability section, and a
+/// recover-from-WAL run starts from the logged mutation history.
+void TestDurableBenchReport() {
+  char dir_tmpl[] = "/tmp/quasii_bench_wal_XXXXXX";
+  const char* dir = ::mkdtemp(dir_tmpl);
+  CHECK(dir != nullptr);
+  const std::string wal = std::string(dir) + "/run.wal";
+
+  BenchConfig config;
+  config.n = 2000;
+  config.queries = 40;
+  config.indexes = {"QUASII"};
+  CHECK(ParseWorkloadMix("range:0.7,insert:0.2,erase:0.1", &config.mix));
+  config.durability.wal_path = wal;
+  config.durability.snapshot_every = 4;
+  config.durability.fsync = quasii::persist::FsyncPolicy::kNone;
+
+  std::string error;
+  const std::string report = RunBenchmark(config, &error);
+  CHECK_EQ(error, "");
+  CHECK(JsonValidator(report).Valid());
+  CHECK(report.find("\"schema\":\"quasii-bench-v6\"") != std::string::npos);
+  CHECK(report.find("\"durability\":") != std::string::npos);
+  CHECK(report.find("\"wal_records\":") != std::string::npos);
+  CHECK(report.find("\"snapshots_written\":") != std::string::npos);
+
+  // Second run: recover from the first run's WAL + snapshot, then rerun.
+  config.durability.recover = true;
+  const std::string report2 = RunBenchmark(config, &error);
+  CHECK_EQ(error, "");
+  CHECK(JsonValidator(report2).Valid());
+  CHECK(report2.find("\"recovery\":") != std::string::npos);
+  CHECK(report2.find("\"snapshot_loaded\":true") != std::string::npos);
+
+  std::remove(wal.c_str());
+  std::remove((wal + ".snapshot").c_str());
+  ::rmdir(dir);
+}
+
 /// `MakeBenchInputs` must never pad the workload with default-constructed
 /// (empty) query boxes: the clustered generator's rounded-up output is
 /// clamped down to the requested count, never blindly resized up.
@@ -351,6 +452,8 @@ int main() {
   RUN_TEST(TestMixedWorkloadReport);
   RUN_TEST(TestReadWriteWorkloadReport);
   RUN_TEST(TestParseWorkloadMix);
+  RUN_TEST(TestCliParsers);
+  RUN_TEST(TestDurableBenchReport);
   RUN_TEST(TestBenchInputsEmitNoEmptyQueries);
   return 0;
 }

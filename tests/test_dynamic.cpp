@@ -275,9 +275,16 @@ void CheckInterleavedOpsAgainstOracle(std::uint64_t seed) {
       }
     }
   }
-  // Final sanity: population agreed on throughout.
+  // Final sanity: population agreed on throughout, and every index passes
+  // its structural self-check (the same validator recovery runs).
   for (auto& index : roster) {
     CHECK_EQ(index->store().live_count(), oracle.size());
+    std::string why;
+    if (!index->CheckInvariants(&why)) {
+      std::fprintf(stderr, "%s CheckInvariants: %s\n",
+                   std::string(index->name()).c_str(), why.c_str());
+      CHECK(false);
+    }
   }
 }
 

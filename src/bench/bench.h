@@ -474,6 +474,7 @@ inline void WriteStats(JsonWriter* w, const QueryStats& s) {
   w->Key("objects_moved").Uint(s.objects_moved);
   w->Key("duplicates_removed").Uint(s.duplicates_removed);
   w->Key("intervals").Uint(s.intervals);
+  w->Key("bytes_scanned").Uint(s.bytes_scanned);
   w->EndObject();
 }
 
@@ -543,7 +544,7 @@ inline std::string RunBenchmark(const BenchConfig& config,
   JsonWriter w;
   w.BeginObject();
   const bool durable = config.durability.enabled() && error != nullptr;
-  w.Key("schema").String("quasii-bench-v6");
+  w.Key("schema").String("quasii-bench-v7");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);

@@ -17,6 +17,7 @@
 #include "common/dataset.h"
 #include "common/executor.h"
 #include "common/query.h"
+#include "common/simd.h"
 #include "common/spatial_index.h"
 #include "common/timer.h"
 #include "geometry/box.h"
@@ -55,6 +56,14 @@ namespace quasii::bench {
 /// (`src/persist/`), recovered into a fresh instance, and re-queried — the
 /// durability acceptance bar is `replay_cracks == 0` (the restored slice
 /// hierarchy is already converged) with a matching result checksum.
+/// Schema v7 adds `bytes_scanned` to every stats object, the `memory` block
+/// on QUASII results (scan working set: `resident_column_bytes` vs
+/// `raw_column_bytes`, packed-leaf coverage), the `simd_tier` option, and
+/// the `ab` block on the uniform-workload QUASII results: interleaved A/B
+/// reruns of the converged read stream comparing the scalar vs native SIMD
+/// tier (raw columns) and raw vs packed columns (native tier), with
+/// checksum/counter equality verdicts — the measurement behind the explicit
+/// SIMD kernel layer's acceptance bar.
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
@@ -153,6 +162,48 @@ struct RecoveryPoint {
   bool ok = false;  // snapshot + recovery both succeeded
 };
 
+/// One interleaved A/B comparison over the converged read stream: mode A and
+/// mode B alternate pass-by-pass (A,B,A,B,...) so drift hits both equally,
+/// and each mode's median pass time is reported. A final untimed pass per
+/// mode verifies that results (stream checksum) and work counters are
+/// bit-identical across modes — the kernels must differ in speed only.
+struct AbResult {
+  std::string name;    // "simd" or "packed"
+  std::string mode_a;  // e.g. "scalar" / "raw"
+  std::string mode_b;  // e.g. "avx2" / "packed"
+  double a_median_ms = 0;
+  double b_median_ms = 0;
+  double speedup = 0;  // a_median / b_median: how much faster B runs
+  int rounds = 0;      // timed passes per mode
+  bool checksum_match = false;
+  bool counters_match = false;
+};
+
+/// One timed pass of the workload's range queries (results accumulated, not
+/// sorted or digested — this times query execution, nothing else).
+inline double TimeRangePass(SpatialIndex<3>* index,
+                            const std::vector<Op3>& ops) {
+  std::vector<ObjectId> ids;
+  VectorSink sink(&ids);
+  Timer t;
+  for (const Op3& op : ops) {
+    if (op.kind != OpKind::kQuery || op.query.type() != QueryType::kRange) {
+      continue;
+    }
+    ids.clear();
+    index->Execute(op.query, sink);
+  }
+  return t.Millis();
+}
+
+inline double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+/// Timed passes per A/B mode (interleaved, so 2x this many passes total).
+constexpr int kAbRounds = 5;
+
 /// Order-sensitive FNV-1a fold over every range query's sorted result ids —
 /// the same digest `RunMicro`'s post-workload pass computes.
 inline std::uint64_t RangeQueryChecksum(
@@ -209,6 +260,50 @@ inline RecoveryPoint MeasureRecovery(const SpatialIndex<3>& converged,
   point.replay_cracks = fresh->stats().cracks;
   point.checksum_match = replayed == expected_checksum;
   return point;
+}
+
+/// Runs one interleaved A/B comparison on a converged QUASII index.
+/// `setup_a` / `setup_b` flip the execution mode (SIMD tier, packed-scan
+/// toggle) before each pass; the caller restores its preferred mode after.
+/// The index must already be converged for `ops` — the verification passes
+/// require `cracks == 0` in both modes, so any reorganization fails the
+/// `counters_match` verdict.
+template <typename SetupA, typename SetupB>
+inline AbResult MeasureAb(QuasiiIndex<3>* index, const std::vector<Op3>& ops,
+                          std::uint64_t expected_checksum, const char* name,
+                          const char* mode_a, SetupA setup_a,
+                          const char* mode_b, SetupB setup_b) {
+  AbResult r;
+  r.name = name;
+  r.mode_a = mode_a;
+  r.mode_b = mode_b;
+  r.rounds = kAbRounds;
+  std::vector<double> a_ms;
+  std::vector<double> b_ms;
+  for (int i = 0; i < kAbRounds; ++i) {
+    setup_a();
+    a_ms.push_back(TimeRangePass(index, ops));
+    setup_b();
+    b_ms.push_back(TimeRangePass(index, ops));
+  }
+  setup_a();
+  index->ResetStats();
+  std::uint64_t queries_a = 0;
+  const std::uint64_t sum_a = RangeQueryChecksum(index, ops, &queries_a);
+  const QueryStats stats_a = index->stats();
+  setup_b();
+  index->ResetStats();
+  std::uint64_t queries_b = 0;
+  const std::uint64_t sum_b = RangeQueryChecksum(index, ops, &queries_b);
+  const QueryStats stats_b = index->stats();
+  r.checksum_match = sum_a == expected_checksum && sum_b == expected_checksum;
+  r.counters_match = stats_a.objects_tested == stats_b.objects_tested &&
+                     stats_a.partitions_visited == stats_b.partitions_visited &&
+                     stats_a.cracks == 0 && stats_b.cracks == 0;
+  r.a_median_ms = MedianOf(a_ms);
+  r.b_median_ms = MedianOf(b_ms);
+  r.speedup = r.b_median_ms > 0 ? r.a_median_ms / r.b_median_ms : 0;
+  return r;
 }
 
 /// Per-index microbench measurement (a superset of `IndexRun`'s fields,
@@ -347,9 +442,12 @@ inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
   return run;
 }
 
-inline void WriteMicroRun(JsonWriter* w, const MicroRun& run,
-                          const std::vector<ScalingPoint>* scaling = nullptr,
-                          const RecoveryPoint* recovery = nullptr) {
+inline void WriteMicroRun(
+    JsonWriter* w, const MicroRun& run,
+    const std::vector<ScalingPoint>* scaling = nullptr,
+    const RecoveryPoint* recovery = nullptr,
+    const SpatialIndex<3>::ColumnMemory* memory = nullptr,
+    const std::vector<AbResult>* ab = nullptr) {
   w->BeginObject();
   w->Key("index").String(run.name);
   w->Key("build_ms").Double(run.build_ms);
@@ -402,6 +500,30 @@ inline void WriteMicroRun(JsonWriter* w, const MicroRun& run,
     w->Key("checksum_match").Bool(recovery->checksum_match);
     w->EndObject();
   }
+  if (memory != nullptr) {
+    w->Key("memory").BeginObject();
+    w->Key("resident_column_bytes").Uint(memory->resident_bytes);
+    w->Key("raw_column_bytes").Uint(memory->raw_bytes);
+    w->Key("packed_leaves").Uint(memory->packed_leaves);
+    w->Key("packed_rows").Uint(memory->packed_rows);
+    w->EndObject();
+  }
+  if (ab != nullptr && !ab->empty()) {
+    w->Key("ab").BeginObject();
+    for (const AbResult& r : *ab) {
+      w->Key(r.name).BeginObject();
+      w->Key("mode_a").String(r.mode_a);
+      w->Key("mode_b").String(r.mode_b);
+      w->Key("a_median_ms").Double(r.a_median_ms);
+      w->Key("b_median_ms").Double(r.b_median_ms);
+      w->Key("speedup").Double(r.speedup);
+      w->Key("rounds").Uint(static_cast<std::uint64_t>(r.rounds));
+      w->Key("checksum_match").Bool(r.checksum_match);
+      w->Key("counters_match").Bool(r.counters_match);
+      w->EndObject();
+    }
+    w->EndObject();
+  }
   w->EndObject();
 }
 
@@ -412,12 +534,14 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v6");
+  w.Key("schema").String("quasii-microbench-v7");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
   w.Key("queries").Int(options.queries);
   w.Key("seed").Uint(options.seed);
+  w.Key("simd_tier").String(simd::TierName(simd::ActiveTier()));
+  w.Key("packing_enabled").Bool(QuasiiIndex<3>::PackingEnabled());
   w.EndObject();
 
   w.Key("configs").BeginArray();
@@ -470,6 +594,13 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
         std::vector<ScalingPoint> scaling;
         RecoveryPoint recovery;
         bool have_recovery = false;
+        SpatialIndex<3>::ColumnMemory memory;
+        bool have_memory = false;
+        std::vector<AbResult> ab;
+        if (index->name() == "QUASII") {
+          memory = index->column_memory();
+          have_memory = memory.raw_bytes > 0;
+        }
         if (workload == "uniform" && index->name() == "QUASII") {
           scaling = MeasureScaling(index.get(), ops);
           QuasiiIndex<3> fresh(data);
@@ -480,9 +611,34 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
                                      run.post_workload.checksum,
                                      snapshot_path);
           have_recovery = true;
+          // Interleaved A/B reruns of the (now converged) read stream:
+          // scalar vs native SIMD tier over the raw columns, then raw vs
+          // packed columns at the native tier. Results must be bit-identical
+          // in every mode; only the pass time may differ.
+          auto* q = dynamic_cast<QuasiiIndex<3>*>(index.get());
+          const simd::Tier native = simd::ActiveTier();
+          ab.push_back(MeasureAb(
+              q, ops, run.post_workload.checksum, "simd", "scalar",
+              [q] {
+                simd::ForceTier(simd::Tier::kScalar);
+                q->set_packed_scan_enabled(false);
+              },
+              simd::TierName(native),
+              [q, native] {
+                simd::ForceTier(native);
+                q->set_packed_scan_enabled(false);
+              }));
+          ab.push_back(MeasureAb(
+              q, ops, run.post_workload.checksum, "packed", "raw",
+              [q] { q->set_packed_scan_enabled(false); },
+              "packed", [q] { q->set_packed_scan_enabled(true); }));
+          simd::ForceTier(native);
+          q->set_packed_scan_enabled(true);
         }
         WriteMicroRun(&w, run, scaling.empty() ? nullptr : &scaling,
-                      have_recovery ? &recovery : nullptr);
+                      have_recovery ? &recovery : nullptr,
+                      have_memory ? &memory : nullptr,
+                      ab.empty() ? nullptr : &ab);
       }
       w.EndArray();
       w.EndObject();

@@ -13,10 +13,59 @@
 
 #include "common/bytes.h"
 #include "common/dataset.h"
+#include "common/packed_column.h"
 #include "common/query.h"
+#include "common/simd.h"
 #include "geometry/box.h"
 
 namespace quasii {
+
+namespace internal {
+
+/// Thread-local leaf-scan scratch (candidate mask + compacted survivor ids).
+/// Repeated scans on one thread reuse the buffers without reallocating — but
+/// one huge scan must not pin peak-sized buffers on a long-lived pool thread
+/// forever. Shrink policy: once a buffer exceeds `kCapBytes` and
+/// `kShrinkStreak` consecutive scans each used at most a quarter of its
+/// capacity, it is re-sized down to the latest working size. The streak
+/// requirement keeps an alternating big/small scan mix from thrashing the
+/// allocator.
+struct ScanScratch {
+  static constexpr std::size_t kCapBytes = std::size_t{1} << 20;
+  static constexpr int kShrinkStreak = 64;
+
+  std::vector<std::uint8_t> mask;
+  std::vector<ObjectId> ids;
+  int mask_streak = 0;
+  int ids_streak = 0;
+
+  template <typename T>
+  static void MaybeShrink(std::vector<T>* v, std::size_t used, int* streak) {
+    const std::size_t cap_elems = kCapBytes / sizeof(T);
+    if (v->capacity() <= cap_elems || used > v->capacity() / 4) {
+      *streak = 0;
+      return;
+    }
+    if (++*streak < kShrinkStreak) return;
+    *streak = 0;
+    std::vector<T> right_sized;
+    right_sized.reserve(used);
+    v->swap(right_sized);
+  }
+
+  /// Called after each scan with the sizes that scan actually needed.
+  void Release(std::size_t mask_used, std::size_t ids_used) {
+    MaybeShrink(&mask, mask_used, &mask_streak);
+    MaybeShrink(&ids, ids_used, &ids_streak);
+  }
+};
+
+inline ScanScratch& ScanScratchTLS() {
+  static thread_local ScanScratch scratch;
+  return scratch;
+}
+
+}  // namespace internal
 
 /// Partition of `keys[begin, end)` so that every element with
 /// `pred(key) == true` precedes every element with `pred(key) == false`,
@@ -233,15 +282,22 @@ class CrackArray {
   }
 
   /// Leaf scan of rows `[begin, end)` against `(q, predicate)`, streaming
-  /// the matches into `emit`: per dimension one branchless,
-  /// auto-vectorizable pass ANDs the predicate's interval test over the
-  /// dense bound columns into a candidate mask — dimension-wise the tests
-  /// *are* `Box::Intersects` / `ContainsBox`, so mask survivors are exact
-  /// results and no box is ever materialized. Survivor ids are compressed
-  /// branchlessly into a dense run and handed over as one `AddRun` (one
-  /// virtual call per scan, not per object) — or, on count-only
-  /// executions, only their number is accumulated and the id column is
-  /// never read.
+  /// the matches into `emit`: per dimension one explicit-SIMD pass
+  /// (`simd::MaskLeGe`, dispatched scalar/AVX2/NEON at runtime) ANDs the
+  /// predicate's interval test over the dense bound columns into a candidate
+  /// mask — dimension-wise the tests *are* `Box::Intersects` / `ContainsBox`,
+  /// so mask survivors are exact results and no box is ever materialized.
+  /// Survivor ids are compressed into a dense run (`simd::CompactIds`,
+  /// movemask + 8-lane permute on AVX2, branchless scalar elsewhere) and
+  /// handed over as one `AddRun` (one virtual call per scan, not per object)
+  /// — or, on count-only executions, only their number is accumulated and
+  /// the id column is never read.
+  ///
+  /// When the caller owns a `PackedLeaf` for exactly this row range (a
+  /// frozen QUASII slice), pass it as `packed`: the mask passes then scan
+  /// the bit-packed frame-of-reference columns directly — comparing in
+  /// mapped space, never decompressing — and read a fraction of the bytes.
+  /// Results are bit-identical to the raw-column path.
   ///
   /// For `kIntersects`, dimensions set in `covered_dims` are proven
   /// overlapping by the caller's structure (e.g. a QUASII slice whose value
@@ -260,76 +316,93 @@ class CrackArray {
   /// thread-local scratch and the emitter) as long as no thread is
   /// reorganizing the array — the converged read path of QUASII's
   /// concurrency contract.
-  void StreamScan(std::size_t begin, std::size_t end, const Box<D>& q,
-                  RangePredicate predicate, unsigned covered_dims,
-                  MatchEmitter* emit) const {
-    // Per-thread scratch (mask + compressed survivor ids): concurrent scans
-    // of one array — or of several — never share it, and repeated scans on
-    // one thread never reallocate.
-    static thread_local std::vector<std::uint8_t> scan_mask;
-    static thread_local std::vector<ObjectId> scan_ids;
+  ///
+  /// Returns the number of column bytes the scan actually touched (bound or
+  /// packed columns, live-byte probe, emitted ids) — the engine accumulates
+  /// it into `QueryStats::bytes_scanned`.
+  std::uint64_t StreamScan(std::size_t begin, std::size_t end, const Box<D>& q,
+                           RangePredicate predicate, unsigned covered_dims,
+                           MatchEmitter* emit,
+                           const PackedLeaf<D>* packed = nullptr) const {
+    internal::ScanScratch& scratch = internal::ScanScratchTLS();
     const std::size_t len = end - begin;
-    if (len == 0) return;
+    if (len == 0) return 0;
     if (predicate != RangePredicate::kIntersects) covered_dims = 0;
     const bool range_has_dead = HasDeadIn(begin, end);
+    std::uint64_t bytes = tombstones_ > 0 ? len : 0;  // live-byte probe
     if (covered_dims == (1u << D) - 1 && !range_has_dead) {
       if (emit->count_only()) {
         emit->AddAnonymous(len);
       } else {
         emit->AddRun(ids_.data() + begin, len);
+        bytes += len * sizeof(ObjectId);
       }
-      return;
+      return bytes;
     }
     if (!range_has_dead) {
-      scan_mask.assign(len, 1);
+      scratch.mask.assign(len, 1);
     } else {
-      scan_mask.assign(
-          live_.begin() + static_cast<std::ptrdiff_t>(begin),
-          live_.begin() + static_cast<std::ptrdiff_t>(end));
+      scratch.mask.assign(live_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          live_.begin() + static_cast<std::ptrdiff_t>(end));
     }
-    std::uint8_t* mask = scan_mask.data();
+    std::uint8_t* mask = scratch.mask.data();
+    // A packed leaf can only stand in for the raw columns when it encodes
+    // exactly this row range.
+    const bool use_packed = packed != nullptr && packed->rows == len;
     for (int d = 0; d < D; ++d) {
       if (covered_dims & (1u << d)) continue;
       const Scalar qlo = q.lo[d];
       const Scalar qhi = q.hi[d];
+      if (use_packed) {
+        const std::size_t dd = static_cast<std::size_t>(d);
+        const PackedColumn& lo_pk = packed->lo_cols[dd];
+        const PackedColumn& hi_pk = packed->hi_cols[dd];
+        switch (predicate) {
+          case RangePredicate::kIntersects:
+            MaskPackedLeGe(lo_pk, MapOrdered(qhi), hi_pk, MapOrdered(qlo),
+                           mask, len);
+            break;
+          case RangePredicate::kContains:  // object ⊇ q, per dimension
+            MaskPackedLeGe(lo_pk, MapOrdered(qlo), hi_pk, MapOrdered(qhi),
+                           mask, len);
+            break;
+          case RangePredicate::kContainedBy:  // object ⊆ q, per dimension
+            MaskPackedLeGe(hi_pk, MapOrdered(qhi), lo_pk, MapOrdered(qlo),
+                           mask, len);
+            break;
+        }
+        bytes += lo_pk.bytes() + hi_pk.bytes();
+        continue;
+      }
       const Scalar* los = los_[static_cast<std::size_t>(d)].data() + begin;
       const Scalar* his = his_[static_cast<std::size_t>(d)].data() + begin;
+      // All three predicates are one (column <= bound) & (column >= bound)
+      // pair; only the column/bound pairing differs.
       switch (predicate) {
         case RangePredicate::kIntersects:
-          for (std::size_t i = 0; i < len; ++i) {
-            mask[i] &=
-                static_cast<std::uint8_t>((los[i] <= qhi) & (his[i] >= qlo));
-          }
+          simd::MaskLeGe(los, qhi, his, qlo, mask, len);
           break;
         case RangePredicate::kContains:  // object ⊇ q, per dimension
-          for (std::size_t i = 0; i < len; ++i) {
-            mask[i] &=
-                static_cast<std::uint8_t>((los[i] <= qlo) & (his[i] >= qhi));
-          }
+          simd::MaskLeGe(los, qlo, his, qhi, mask, len);
           break;
         case RangePredicate::kContainedBy:  // object ⊆ q, per dimension
-          for (std::size_t i = 0; i < len; ++i) {
-            mask[i] &=
-                static_cast<std::uint8_t>((los[i] >= qlo) & (his[i] <= qhi));
-          }
+          simd::MaskLeGe(his, qhi, los, qlo, mask, len);
           break;
       }
+      bytes += 2 * len * sizeof(Scalar);
     }
     if (emit->count_only()) {
-      std::uint64_t matches = 0;
-      for (std::size_t i = 0; i < len; ++i) matches += mask[i];
-      emit->AddAnonymous(matches);
-      return;
+      emit->AddAnonymous(simd::MaskCount(mask, len));
+      scratch.Release(len, 0);
+      return bytes;
     }
-    scan_ids.resize(len);
-    const ObjectId* ids = ids_.data() + begin;
-    ObjectId* out = scan_ids.data();
-    std::size_t m = 0;
-    for (std::size_t i = 0; i < len; ++i) {
-      out[m] = ids[i];
-      m += mask[i];
-    }
-    if (m > 0) emit->AddRun(out, m);
+    scratch.ids.resize(len);
+    const std::size_t m =
+        simd::CompactIds(ids_.data() + begin, mask, len, scratch.ids.data());
+    if (m > 0) emit->AddRun(scratch.ids.data(), m);
+    bytes += len * sizeof(ObjectId);
+    scratch.Release(len, len);
+    return bytes;
   }
 
   /// One crack step: partitions `[begin, end)` so keys in dimension `d`

@@ -1,0 +1,371 @@
+#ifndef QUASII_COMMON_PACKED_COLUMN_H_
+#define QUASII_COMMON_PACKED_COLUMN_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/simd.h"
+#include "geometry/point.h"
+
+// Frame-of-reference bit-packed bound columns for frozen (converged,
+// immutable) slices.
+//
+// A slice that has reached its leaf threshold — or carries the `frozen` flag —
+// is never reorganized again, so its per-dim `lo`/`hi` bound columns are
+// immutable until the next full compaction. Those columns are re-encoded
+// once, at freeze time, into a form the SIMD kernels scan *directly*:
+//
+//   1. Each float is mapped to an order-preserving unsigned 32-bit integer
+//      (`MapOrdered`): sign-magnitude floats become two's-complement-style
+//      monotone integers, with -0.0 canonicalized to +0.0 so float and
+//      integer comparisons agree on every non-NaN input.
+//   2. The column stores `ref = min(mapped)` and only the deltas
+//      `mapped[i] - ref`, each in `width` bits where `width` is the bit
+//      length of `max - min` (0..32). A converged leaf covers a narrow value
+//      interval, so width is far below 32.
+//   3. Deltas are laid out in a vertical 8-lane layout: value `i` lives in
+//      lane `i % 8`, each lane is a little-endian bitstream of 32-bit words,
+//      and word `j` of all 8 lanes is stored contiguously
+//      (`words[j*8 .. j*8+7]`). One unaligned 256-bit load therefore yields
+//      the same bitstream word for 8 consecutive values, and a group of 8
+//      deltas unpacks with two uniform shifts and a mask — no per-lane
+//      shuffles. One pad word per lane keeps the (current, next) word pair
+//      loadable for every group without bounds checks.
+//
+// Scans never decompress the column: the query bound is mapped once with
+// `MapOrdered`, and the kernels compare `ref + delta` against it in mapped
+// space (AVX2: signed compares after the usual 0x80000000 bias flip). The
+// result is bit-identical to scanning the raw float columns.
+
+namespace quasii {
+
+/// Order-preserving map from float to uint32: for all non-NaN a, b
+/// `a <= b  <=>  MapOrdered(a) <= MapOrdered(b)`. -0.0 maps like +0.0.
+inline std::uint32_t MapOrdered(Scalar f) {
+  static_assert(sizeof(Scalar) == 4, "packed columns assume float coords");
+  if (f == Scalar(0)) f = Scalar(0);  // collapse -0.0 onto +0.0
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return (u & 0x80000000u) != 0 ? ~u : u ^ 0x80000000u;
+}
+
+/// One immutable bit-packed column (layout contract in the header comment).
+struct PackedColumn {
+  std::uint32_t ref = 0;        // min of the mapped values
+  std::uint8_t width = 0;       // bits per delta, 0..32
+  std::uint32_t rows = 0;       // logical value count
+  std::vector<std::uint32_t> words;  // 8-lane interleaved bitstreams
+
+  std::size_t bytes() const {
+    return sizeof(PackedColumn) + words.size() * sizeof(std::uint32_t);
+  }
+
+  /// Scalar random access, mapped space (reference path + tails).
+  std::uint32_t GetMapped(std::size_t i) const {
+    if (width == 0) return ref;
+    const std::size_t lane = i & 7;
+    const std::size_t group = i >> 3;
+    const std::size_t bitpos = group * width;
+    const std::size_t wi = bitpos >> 5;
+    const unsigned shift = static_cast<unsigned>(bitpos & 31);
+    const std::uint64_t cur = words[wi * 8 + lane];
+    const std::uint64_t nxt = words[(wi + 1) * 8 + lane];
+    const std::uint64_t both = cur | (nxt << 32);
+    const std::uint32_t wmask =
+        width == 32 ? ~0u : ((1u << width) - 1u);
+    return ref + (static_cast<std::uint32_t>(both >> shift) & wmask);
+  }
+};
+
+/// Encodes `n` floats into a PackedColumn. Cold path: runs once per frozen
+/// slice, under the index's exclusive lock.
+inline PackedColumn PackColumn(const Scalar* vals, std::size_t n) {
+  PackedColumn col;
+  col.rows = static_cast<std::uint32_t>(n);
+  if (n == 0) return col;
+  std::uint32_t lo = MapOrdered(vals[0]);
+  std::uint32_t hi = lo;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t u = MapOrdered(vals[i]);
+    lo = u < lo ? u : lo;
+    hi = u > hi ? u : hi;
+  }
+  col.ref = lo;
+  col.width = static_cast<std::uint8_t>(std::bit_width(hi - lo));
+  if (col.width == 0) return col;  // constant column: ref carries everything
+  const std::size_t groups = (n + 7) / 8;
+  const std::size_t words_per_lane = (groups * col.width + 31) / 32 + 1;
+  col.words.assign(words_per_lane * 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t delta = MapOrdered(vals[i]) - col.ref;
+    const std::size_t lane = i & 7;
+    const std::size_t bitpos = (i >> 3) * col.width;
+    const std::size_t wi = bitpos >> 5;
+    const unsigned shift = static_cast<unsigned>(bitpos & 31);
+    col.words[wi * 8 + lane] |= delta << shift;
+    if (shift + col.width > 32) {
+      col.words[(wi + 1) * 8 + lane] |= delta >> (32 - shift);
+    }
+  }
+  return col;
+}
+
+// ---------------------------------------------------------------------------
+// Packed scan kernels: mask[i] &= (value[i] <= bound) / (value[i] >= bound),
+// compared in mapped space. Scalar reference + AVX2; the NEON tier falls back
+// to scalar here (packed leaves are rare enough on aarch64 CI that the
+// maintenance cost of a third layout kernel is not yet paid for).
+//
+// Before any per-value work, the bound is classified against the column's
+// frame `[ref, ref + 2^width)`: a bound below the frame fails (Le) or passes
+// (Ge) every value, and a bound at or beyond the frame's top does the
+// opposite — converged leaves have narrow frames, so whole passes collapse
+// into a memset or a no-op. Surviving compares run in *delta space*
+// (`bound - ref`, no per-lane ref add), and the interval test's Le/Ge pair
+// fuses into a single pass with one mask update per group.
+
+namespace internal {
+
+/// What a (column, bound) comparison resolves to for every value at once.
+enum class ColVerdict { kAllPass, kAllFail, kCompare };
+
+template <bool kLe>
+inline ColVerdict Classify(const PackedColumn& col, std::uint32_t bound,
+                           std::uint32_t* bound_delta) {
+  if (col.width == 0) {  // constant column: ref decides alone
+    const bool pass = kLe ? col.ref <= bound : col.ref >= bound;
+    return pass ? ColVerdict::kAllPass : ColVerdict::kAllFail;
+  }
+  if (bound < col.ref) {
+    return kLe ? ColVerdict::kAllFail : ColVerdict::kAllPass;
+  }
+  const std::uint64_t delta = bound - col.ref;
+  if (col.width < 32 && delta >= (std::uint64_t{1} << col.width)) {
+    return kLe ? ColVerdict::kAllPass : ColVerdict::kAllFail;
+  }
+  *bound_delta = static_cast<std::uint32_t>(delta);
+  return ColVerdict::kCompare;
+}
+
+template <bool kLe>
+inline void MaskPackedCmpScalar(const PackedColumn& col, std::uint32_t bound,
+                                std::uint8_t* mask, std::size_t n,
+                                std::size_t from = 0) {
+  for (std::size_t i = from; i < n; ++i) {
+    const std::uint32_t v = col.GetMapped(i);
+    mask[i] &= static_cast<std::uint8_t>(kLe ? v <= bound : v >= bound);
+  }
+}
+
+#if defined(QUASII_SIMD_X86)
+
+/// Unpacks the 8 deltas of group `g` (width >= 1), biased for signed
+/// compares.
+__attribute__((target("avx2"))) inline __m256i UnpackGroupBiasedAvx2(
+    const std::uint32_t* words, unsigned width, __m256i wmask, __m256i bias,
+    std::size_t g) {
+  const std::size_t bitpos = g * width;
+  const std::size_t wi = bitpos >> 5;
+  const int shift = static_cast<int>(bitpos & 31);
+  const __m256i cur =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + wi * 8));
+  __m256i val = _mm256_srl_epi32(cur, _mm_cvtsi32_si128(shift));
+  if (static_cast<unsigned>(shift) + width > 32) {
+    // Group straddles a word boundary: fold in the next word's low bits.
+    // (Never taken when width <= 16, so narrow columns pay one load.)
+    const __m256i nxt = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + wi * 8 + 8));
+    val = _mm256_or_si256(val, _mm256_sll_epi32(nxt, _mm_cvtsi32_si128(32 - shift)));
+  }
+  const __m256i delta = _mm256_and_si256(val, wmask);
+  return _mm256_xor_si256(delta, bias);
+}
+
+/// Single-column compare in delta space (`bound_delta = bound - ref`,
+/// classification already ruled out the all-pass/all-fail cases).
+template <bool kLe>
+__attribute__((target("avx2"))) inline void MaskPackedCmpAvx2(
+    const PackedColumn& col, std::uint32_t bound, std::uint32_t bound_delta,
+    std::uint8_t* mask, std::size_t n) {
+  const std::uint32_t wmask32 = col.width == 32 ? ~0u : ((1u << col.width) - 1u);
+  const __m256i wmask = _mm256_set1_epi32(static_cast<int>(wmask32));
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i boundv =
+      _mm256_set1_epi32(static_cast<int>(bound_delta ^ 0x80000000u));
+  const std::uint32_t* words = col.words.data();
+  const std::size_t full_groups = n / 8;
+  for (std::size_t g = 0; g < full_groups; ++g) {
+    const __m256i biased =
+        UnpackGroupBiasedAvx2(words, col.width, wmask, bias, g);
+    // keep = !(v > bound) for Le, !(bound > v) for Ge.
+    const __m256i gt = kLe ? _mm256_cmpgt_epi32(biased, boundv)
+                           : _mm256_cmpgt_epi32(boundv, biased);
+    const __m128i drop = simd::internal::PackLaneMaskToBytes(gt);
+    const __m128i old =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mask + g * 8));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(mask + g * 8),
+                     _mm_andnot_si128(drop, old));
+  }
+  MaskPackedCmpScalar<kLe>(col, bound, mask, n, full_groups * 8);
+}
+
+/// Fused interval test: mask[i] &= (le_col[i] <= le_bound) &
+/// (ge_col[i] >= ge_bound), both columns compared in their own delta space,
+/// one mask update per group.
+__attribute__((target("avx2"))) inline void MaskPackedLeGeAvx2(
+    const PackedColumn& le_col, std::uint32_t le_bound,
+    std::uint32_t le_delta, const PackedColumn& ge_col,
+    std::uint32_t ge_bound, std::uint32_t ge_delta, std::uint8_t* mask,
+    std::size_t n) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i le_wmask = _mm256_set1_epi32(static_cast<int>(
+      le_col.width == 32 ? ~0u : ((1u << le_col.width) - 1u)));
+  const __m256i ge_wmask = _mm256_set1_epi32(static_cast<int>(
+      ge_col.width == 32 ? ~0u : ((1u << ge_col.width) - 1u)));
+  const __m256i le_boundv =
+      _mm256_set1_epi32(static_cast<int>(le_delta ^ 0x80000000u));
+  const __m256i ge_boundv =
+      _mm256_set1_epi32(static_cast<int>(ge_delta ^ 0x80000000u));
+  const std::uint32_t* le_words = le_col.words.data();
+  const std::uint32_t* ge_words = ge_col.words.data();
+  const std::size_t full_groups = n / 8;
+  for (std::size_t g = 0; g < full_groups; ++g) {
+    const __m256i le_v =
+        UnpackGroupBiasedAvx2(le_words, le_col.width, le_wmask, bias, g);
+    const __m256i ge_v =
+        UnpackGroupBiasedAvx2(ge_words, ge_col.width, ge_wmask, bias, g);
+    const __m256i drop32 =
+        _mm256_or_si256(_mm256_cmpgt_epi32(le_v, le_boundv),
+                        _mm256_cmpgt_epi32(ge_boundv, ge_v));
+    const __m128i drop = simd::internal::PackLaneMaskToBytes(drop32);
+    const __m128i old =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mask + g * 8));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(mask + g * 8),
+                     _mm_andnot_si128(drop, old));
+  }
+  for (std::size_t i = full_groups * 8; i < n; ++i) {
+    mask[i] &= static_cast<std::uint8_t>((le_col.GetMapped(i) <= le_bound) &
+                                         (ge_col.GetMapped(i) >= ge_bound));
+  }
+}
+
+#endif  // QUASII_SIMD_X86
+
+template <bool kLe>
+inline void MaskPackedCmp(const PackedColumn& col, std::uint32_t bound,
+                          std::uint8_t* mask, std::size_t n) {
+  std::uint32_t bound_delta = 0;
+  switch (Classify<kLe>(col, bound, &bound_delta)) {
+    case ColVerdict::kAllPass:
+      return;
+    case ColVerdict::kAllFail:
+      std::memset(mask, 0, n);
+      return;
+    case ColVerdict::kCompare:
+      break;
+  }
+#if defined(QUASII_SIMD_X86)
+  if (simd::ActiveTier() == simd::Tier::kAvx2) {
+    MaskPackedCmpAvx2<kLe>(col, bound, bound_delta, mask, n);
+    return;
+  }
+#endif
+  MaskPackedCmpScalar<kLe>(col, bound, mask, n);
+}
+
+}  // namespace internal
+
+/// mask[i] &= (column value i <= bound), `bound` already mapped.
+inline void MaskPackedLe(const PackedColumn& col, std::uint32_t bound,
+                         std::uint8_t* mask, std::size_t n) {
+  internal::MaskPackedCmp<true>(col, bound, mask, n);
+}
+
+/// mask[i] &= (column value i >= bound), `bound` already mapped.
+inline void MaskPackedGe(const PackedColumn& col, std::uint32_t bound,
+                         std::uint8_t* mask, std::size_t n) {
+  internal::MaskPackedCmp<false>(col, bound, mask, n);
+}
+
+/// One dimension's full interval test over packed columns:
+/// mask[i] &= (le_col[i] <= le_bound) & (ge_col[i] >= ge_bound), bounds
+/// already mapped. Collapses to a single fused pass (or less, when a bound
+/// clears a whole column) — the packed counterpart of `simd::MaskLeGe`.
+inline void MaskPackedLeGe(const PackedColumn& le_col, std::uint32_t le_bound,
+                           const PackedColumn& ge_col, std::uint32_t ge_bound,
+                           std::uint8_t* mask, std::size_t n) {
+  using internal::ColVerdict;
+  std::uint32_t le_delta = 0;
+  std::uint32_t ge_delta = 0;
+  const ColVerdict le_v =
+      internal::Classify<true>(le_col, le_bound, &le_delta);
+  const ColVerdict ge_v =
+      internal::Classify<false>(ge_col, ge_bound, &ge_delta);
+  if (le_v == ColVerdict::kAllFail || ge_v == ColVerdict::kAllFail) {
+    std::memset(mask, 0, n);
+    return;
+  }
+  const bool le_cmp = le_v == ColVerdict::kCompare;
+  const bool ge_cmp = ge_v == ColVerdict::kCompare;
+  if (!le_cmp && !ge_cmp) return;
+#if defined(QUASII_SIMD_X86)
+  if (simd::ActiveTier() == simd::Tier::kAvx2) {
+    if (le_cmp && ge_cmp) {
+      internal::MaskPackedLeGeAvx2(le_col, le_bound, le_delta, ge_col,
+                                   ge_bound, ge_delta, mask, n);
+    } else if (le_cmp) {
+      internal::MaskPackedCmpAvx2<true>(le_col, le_bound, le_delta, mask, n);
+    } else {
+      internal::MaskPackedCmpAvx2<false>(ge_col, ge_bound, ge_delta, mask, n);
+    }
+    return;
+  }
+#endif
+  if (le_cmp) internal::MaskPackedCmpScalar<true>(le_col, le_bound, mask, n);
+  if (ge_cmp) internal::MaskPackedCmpScalar<false>(ge_col, ge_bound, mask, n);
+}
+
+/// The packed bound columns of one frozen leaf slice: per dimension the
+/// packed `lo` and `hi` columns over the slice's row range. Immutable after
+/// construction; slices hand shared ownership around by `shared_ptr`.
+template <int D>
+struct PackedLeaf {
+  std::array<PackedColumn, static_cast<std::size_t>(D)> lo_cols;
+  std::array<PackedColumn, static_cast<std::size_t>(D)> hi_cols;
+  std::size_t rows = 0;
+
+  /// Heap + struct footprint of the packed representation.
+  std::size_t bytes() const {
+    std::size_t total = sizeof(rows);
+    for (int d = 0; d < D; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      total += lo_cols[dd].bytes() + hi_cols[dd].bytes();
+    }
+    return total;
+  }
+};
+
+/// Packs one leaf's bound columns. `los[d]` / `his[d]` point at the first of
+/// `n` contiguous bound values of dimension `d`.
+template <int D>
+std::shared_ptr<const PackedLeaf<D>> MakePackedLeaf(
+    const std::array<const Scalar*, static_cast<std::size_t>(D)>& los,
+    const std::array<const Scalar*, static_cast<std::size_t>(D)>& his,
+    std::size_t n) {
+  auto leaf = std::make_shared<PackedLeaf<D>>();
+  leaf->rows = n;
+  for (int d = 0; d < D; ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    leaf->lo_cols[dd] = PackColumn(los[dd], n);
+    leaf->hi_cols[dd] = PackColumn(his[dd], n);
+  }
+  return leaf;
+}
+
+}  // namespace quasii
+
+#endif  // QUASII_COMMON_PACKED_COLUMN_H_

@@ -24,6 +24,11 @@ struct QueryStats {
   std::uint64_t duplicates_removed = 0;
   /// 1d intervals a query decomposed into (SFC-based indexes).
   std::uint64_t intervals = 0;
+  /// Column bytes read by leaf scans (bound or packed columns, live-byte
+  /// probes, emitted ids). Only `CrackArray::StreamScan`-based paths report
+  /// it; a packed (compressed) leaf advances it by its packed footprint, so
+  /// the counter directly exposes the scan working-set shrink.
+  std::uint64_t bytes_scanned = 0;
 
   void Reset() { *this = QueryStats{}; }
 
@@ -34,6 +39,7 @@ struct QueryStats {
     objects_moved += o.objects_moved;
     duplicates_removed += o.duplicates_removed;
     intervals += o.intervals;
+    bytes_scanned += o.bytes_scanned;
     return *this;
   }
 
@@ -44,6 +50,7 @@ struct QueryStats {
     a.objects_moved -= b.objects_moved;
     a.duplicates_removed -= b.duplicates_removed;
     a.intervals -= b.intervals;
+    a.bytes_scanned -= b.bytes_scanned;
     return a;
   }
 };
@@ -53,7 +60,8 @@ inline std::ostream& operator<<(std::ostream& os, const QueryStats& s) {
             << " visited=" << s.partitions_visited << " cracks=" << s.cracks
             << " moved=" << s.objects_moved
             << " dedup=" << s.duplicates_removed
-            << " intervals=" << s.intervals << '}';
+            << " intervals=" << s.intervals
+            << " bytes_scanned=" << s.bytes_scanned << '}';
 }
 
 /// Number of per-thread counter slots an index carries. Slot 0 belongs to

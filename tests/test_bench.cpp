@@ -405,7 +405,15 @@ void TestDurableBenchReport() {
   const std::string report = RunBenchmark(config, &error);
   CHECK_EQ(error, "");
   CHECK(JsonValidator(report).Valid());
-  CHECK(report.find("\"schema\":\"quasii-bench-v6\"") != std::string::npos);
+  // CHECK_EQ on the extracted value so a schema bump failure prints the
+  // found-vs-expected versions instead of a bare substring miss.
+  const std::string schema_key = "\"schema\":\"";
+  const std::size_t schema_at = report.find(schema_key);
+  CHECK(schema_at != std::string::npos);
+  const std::size_t schema_begin = schema_at + schema_key.size();
+  const std::string found_schema =
+      report.substr(schema_begin, report.find('"', schema_begin) - schema_begin);
+  CHECK_EQ(found_schema, "quasii-bench-v7");
   CHECK(report.find("\"durability\":") != std::string::npos);
   CHECK(report.find("\"wal_records\":") != std::string::npos);
   CHECK(report.find("\"snapshots_written\":") != std::string::npos);

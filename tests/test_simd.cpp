@@ -1,0 +1,464 @@
+// SIMD / packed-column kernel tests: every vector tier must match the scalar
+// reference bit-for-bit at boundary lengths (0, 1, lane-width +/- 1), the
+// bit-packed frozen-leaf columns must round-trip mapped values and produce
+// scan results identical to the raw columns across all predicates (2D and
+// 3D, duplicate-heavy and all-dead rows included), and the thread-local scan
+// scratch must shrink back after a burst of large scans.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/crack_array.h"
+#include "common/dataset.h"
+#include "common/packed_column.h"
+#include "common/query.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "datagen/queries.h"
+#include "datagen/synthetic.h"
+#include "geometry/box.h"
+#include "quasii/quasii_index.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using quasii::Box;
+using quasii::Box3;
+using quasii::CrackArray;
+using quasii::Dataset;
+using quasii::MakePackedLeaf;
+using quasii::MapOrdered;
+using quasii::MaskPackedGe;
+using quasii::MaskPackedLe;
+using quasii::MaskPackedLeGe;
+using quasii::MatchEmitter;
+using quasii::ObjectId;
+using quasii::PackColumn;
+using quasii::PackedColumn;
+using quasii::PackedLeaf;
+using quasii::QuasiiIndex;
+using quasii::RangePredicate;
+using quasii::Rng;
+using quasii::Scalar;
+using quasii::VectorSink;
+
+namespace simd = quasii::simd;
+
+constexpr Scalar kInf = std::numeric_limits<Scalar>::infinity();
+
+// Lengths straddling every lane boundary of the 8-wide kernels (and the
+// 16-wide mask passes inside CompactIds).
+const std::vector<std::size_t> kLens = {0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100};
+
+/// Random column with duplicates, signed zeros and infinities sprinkled in.
+std::vector<Scalar> RandomColumn(std::size_t n, Rng* rng) {
+  std::vector<Scalar> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng->UniformInt(0, 9)) {
+      case 0:
+        v[i] = Scalar{0};
+        break;
+      case 1:
+        v[i] = Scalar{-0.0};
+        break;
+      case 2:
+        v[i] = i > 0 ? v[rng->UniformInt(0, static_cast<std::int64_t>(i) - 1)]
+                     : Scalar{1};
+        break;
+      case 3:
+        v[i] = rng->UniformInt(0, 1) ? kInf : -kInf;
+        break;
+      default:
+        v[i] = rng->UniformScalar(-100, 100);
+    }
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> RandomMask(std::size_t n, Rng* rng) {
+  std::vector<std::uint8_t> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = static_cast<std::uint8_t>(rng->UniformInt(0, 1));
+  }
+  return m;
+}
+
+/// Runs `fn` once under the machine's native tier and once forced scalar.
+template <typename Fn>
+void ForEachTier(Fn fn) {
+  const simd::Tier native = simd::DetectTier();
+  simd::ForceTier(native);
+  fn();
+  simd::ForceTier(simd::Tier::kScalar);
+  fn();
+  simd::ForceTier(native);
+}
+
+void TestTierControls() {
+  const simd::Tier native = simd::DetectTier();
+  CHECK_EQ(simd::DetectTier(), native);  // stable across calls
+  CHECK_EQ(simd::ForceTier(simd::Tier::kScalar), simd::Tier::kScalar);
+  CHECK_EQ(simd::ActiveTier(), simd::Tier::kScalar);
+  // Forcing an unsupported vector tier clamps to what the machine has.
+  const simd::Tier other = native == simd::Tier::kAvx2 ? simd::Tier::kNeon
+                                                       : simd::Tier::kAvx2;
+  CHECK_EQ(simd::ForceTier(other), native);
+  CHECK_EQ(simd::ForceTier(native), native);
+  CHECK_EQ(simd::ActiveTier(), native);
+}
+
+void TestMaskLeGeMatchesScalar() {
+  Rng rng(11);
+  for (std::size_t n : kLens) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const std::vector<Scalar> le_col = RandomColumn(n, &rng);
+      const std::vector<Scalar> ge_col = RandomColumn(n, &rng);
+      const Scalar le_b = rng.UniformScalar(-120, 120);
+      const Scalar ge_b = rng.UniformScalar(-120, 120);
+      const std::vector<std::uint8_t> init = RandomMask(n, &rng);
+      std::vector<std::uint8_t> want = init;
+      simd::MaskLeGeScalar(le_col.data(), le_b, ge_col.data(), ge_b,
+                           want.data(), n);
+      ForEachTier([&] {
+        std::vector<std::uint8_t> got = init;
+        simd::MaskLeGe(le_col.data(), le_b, ge_col.data(), ge_b, got.data(),
+                       n);
+        CHECK(got == want);
+      });
+    }
+  }
+}
+
+void TestMaskCountAndCompactMatchScalar() {
+  Rng rng(12);
+  for (std::size_t n : kLens) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const std::vector<std::uint8_t> mask = RandomMask(n, &rng);
+      std::vector<ObjectId> ids(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<ObjectId>(rng.UniformInt(0, 1 << 20));
+      }
+      const std::uint64_t want_count = simd::MaskCountScalar(mask.data(), n);
+      std::vector<ObjectId> want_ids(n + 1, 0xdeadbeef);
+      const std::size_t want_m =
+          simd::CompactIdsScalar(ids.data(), mask.data(), n, want_ids.data());
+      CHECK_EQ(want_count, want_m);
+      ForEachTier([&] {
+        CHECK_EQ(simd::MaskCount(mask.data(), n), want_count);
+        std::vector<ObjectId> got_ids(n + 1, 0xdeadbeef);
+        const std::size_t got_m =
+            simd::CompactIds(ids.data(), mask.data(), n, got_ids.data());
+        CHECK_EQ(got_m, want_m);
+        CHECK(std::equal(got_ids.begin(), got_ids.begin() + got_m,
+                         want_ids.begin()));
+      });
+      // All-set and all-clear masks.
+      const std::vector<std::uint8_t> ones(n, 1);
+      const std::vector<std::uint8_t> zeros(n, 0);
+      ForEachTier([&] {
+        CHECK_EQ(simd::MaskCount(ones.data(), n), n);
+        CHECK_EQ(simd::MaskCount(zeros.data(), n), 0u);
+        std::vector<ObjectId> out(n + 1);
+        CHECK_EQ(simd::CompactIds(ids.data(), ones.data(), n, out.data()), n);
+        CHECK(std::equal(out.begin(), out.begin() + n, ids.begin()));
+        CHECK_EQ(simd::CompactIds(ids.data(), zeros.data(), n, out.data()),
+                 0u);
+      });
+    }
+  }
+}
+
+void TestPackedColumnRoundTrip() {
+  // MapOrdered preserves float order and canonicalizes -0.0.
+  CHECK_EQ(MapOrdered(Scalar{-0.0}), MapOrdered(Scalar{0}));
+  CHECK_LT(MapOrdered(-kInf), MapOrdered(Scalar{-1}));
+  CHECK_LT(MapOrdered(Scalar{-1}), MapOrdered(Scalar{0}));
+  CHECK_LT(MapOrdered(Scalar{0}), MapOrdered(Scalar{1}));
+  CHECK_LT(MapOrdered(Scalar{1}), MapOrdered(kInf));
+
+  // Constant column packs to width 0 and zero words.
+  const std::vector<Scalar> constant(37, Scalar{4.5});
+  const PackedColumn c0 = PackColumn(constant.data(), constant.size());
+  CHECK_EQ(c0.width, 0u);
+  CHECK_EQ(c0.rows, constant.size());
+  for (std::size_t i = 0; i < constant.size(); ++i) {
+    CHECK_EQ(c0.GetMapped(i), MapOrdered(Scalar{4.5}));
+  }
+
+  // Full-range column (infinities, negatives, signed zero) needs width 32
+  // and still round-trips every mapped value exactly.
+  Rng rng(13);
+  for (std::size_t n : kLens) {
+    if (n == 0) continue;
+    std::vector<Scalar> vals = RandomColumn(n, &rng);
+    vals[0] = -kInf;  // force the widest frame
+    if (n > 1) vals[n - 1] = kInf;
+    const PackedColumn col = PackColumn(vals.data(), n);
+    CHECK_EQ(col.rows, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      CHECK_EQ(col.GetMapped(i), MapOrdered(vals[i]));
+    }
+    // Narrow column: small deltas pack into few bits.
+    for (std::size_t i = 0; i < n; ++i) {
+      vals[i] = Scalar(100 + static_cast<int>(rng.UniformInt(0, 7)));
+    }
+    const PackedColumn narrow = PackColumn(vals.data(), n);
+    // Floats 100..107 share exponent bits: mapped deltas span 20 bits.
+    CHECK_LE(static_cast<unsigned>(narrow.width), 20u);
+    for (std::size_t i = 0; i < n; ++i) {
+      CHECK_EQ(narrow.GetMapped(i), MapOrdered(vals[i]));
+    }
+  }
+}
+
+void TestMaskPackedMatchesFloatReference() {
+  Rng rng(14);
+  for (std::size_t n : kLens) {
+    for (int rep = 0; rep < 8; ++rep) {
+      std::vector<Scalar> le_vals = RandomColumn(n, &rng);
+      std::vector<Scalar> ge_vals = RandomColumn(n, &rng);
+      if (rep == 0) {  // constant columns exercise the width-0 verdicts
+        std::fill(le_vals.begin(), le_vals.end(), Scalar{3});
+        std::fill(ge_vals.begin(), ge_vals.end(), Scalar{-7});
+      }
+      const PackedColumn le_col = PackColumn(le_vals.data(), n);
+      const PackedColumn ge_col = PackColumn(ge_vals.data(), n);
+      // Bounds inside, below, and above the column frames hit the compare
+      // path and both all-pass / all-fail early-outs.
+      const std::array<Scalar, 5> bounds = {
+          rng.UniformScalar(-120, 120), Scalar{-200}, Scalar{200}, -kInf,
+          kInf};
+      for (const Scalar le_b : bounds) {
+        for (const Scalar ge_b : bounds) {
+          const std::vector<std::uint8_t> init = RandomMask(n, &rng);
+          std::vector<std::uint8_t> want = init;
+          for (std::size_t i = 0; i < n; ++i) {
+            want[i] &= static_cast<std::uint8_t>((le_vals[i] <= le_b) &
+                                                 (ge_vals[i] >= ge_b));
+          }
+          ForEachTier([&] {
+            std::vector<std::uint8_t> got = init;
+            MaskPackedLe(le_col, MapOrdered(le_b), got.data(), n);
+            MaskPackedGe(ge_col, MapOrdered(ge_b), got.data(), n);
+            CHECK(got == want);
+            std::vector<std::uint8_t> fused = init;
+            MaskPackedLeGe(le_col, MapOrdered(le_b), ge_col,
+                           MapOrdered(ge_b), fused.data(), n);
+            CHECK(fused == want);
+          });
+        }
+      }
+    }
+  }
+}
+
+template <int D>
+Dataset<D> MakeScanDataset(std::size_t n, Rng* rng, bool duplicate_heavy) {
+  Dataset<D> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < D; ++d) {
+      Scalar lo;
+      if (duplicate_heavy && rng->UniformInt(0, 2) != 0) {
+        lo = Scalar(10 * rng->UniformInt(0, 4));  // few distinct values
+      } else {
+        lo = rng->UniformScalar(0, 100);
+      }
+      data[i].lo[d] = lo;
+      data[i].hi[d] = lo + rng->UniformScalar(0, 5);
+    }
+  }
+  return data;
+}
+
+/// StreamScan over `[0, n)` with and without the packed leaf, at every tier,
+/// for every predicate: ids must be identical (order included — both paths
+/// emit in row order).
+template <int D>
+void CheckStreamScanPackedVsRaw(const CrackArray<D>& array,
+                                const PackedLeaf<D>& leaf, const Box<D>& q) {
+  const std::size_t n = array.size();
+  for (const RangePredicate pred :
+       {RangePredicate::kIntersects, RangePredicate::kContains,
+        RangePredicate::kContainedBy}) {
+    std::vector<ObjectId> want;
+    {
+      VectorSink sink(&want);
+      MatchEmitter emit(false, &sink);
+      simd::ForceTier(simd::Tier::kScalar);
+      array.StreamScan(0, n, q, pred, 0, &emit, nullptr);
+      simd::ForceTier(simd::DetectTier());
+    }
+    ForEachTier([&] {
+      for (const PackedLeaf<D>* packed : {&leaf, (const PackedLeaf<D>*)nullptr}) {
+        std::vector<ObjectId> got;
+        VectorSink sink(&got);
+        MatchEmitter emit(false, &sink);
+        array.StreamScan(0, n, q, pred, 0, &emit, packed);
+        CHECK(got == want);
+      }
+    });
+  }
+}
+
+template <int D>
+void RunStreamScanTest(bool duplicate_heavy, bool kill_all) {
+  Rng rng(15 + D + (duplicate_heavy ? 1 : 0));
+  for (std::size_t n : kLens) {
+    if (n == 0) continue;
+    const Dataset<D> data = MakeScanDataset<D>(n, &rng, duplicate_heavy);
+    CrackArray<D> array(data);
+    if (kill_all) {
+      for (ObjectId id = 0; id < n; ++id) CHECK(array.EraseId(id));
+    } else if (n >= 4) {
+      // Tombstone a few rows so the live-mask seed path runs too.
+      for (int k = 0; k < 3; ++k) {
+        array.EraseId(static_cast<ObjectId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(n) - 1)));
+      }
+    }
+    std::array<const Scalar*, static_cast<std::size_t>(D)> los, his;
+    for (int d = 0; d < D; ++d) {
+      los[static_cast<std::size_t>(d)] = array.lo_col(d).data();
+      his[static_cast<std::size_t>(d)] = array.hi_col(d).data();
+    }
+    const auto leaf = MakePackedLeaf<D>(los, his, n);
+    for (int rep = 0; rep < 4; ++rep) {
+      Box<D> q;
+      for (int d = 0; d < D; ++d) {
+        const Scalar a = rng.UniformScalar(0, 100);
+        const Scalar b = rng.UniformScalar(0, 100);
+        q.lo[d] = std::min(a, b);
+        q.hi[d] = std::max(a, b);
+      }
+      CheckStreamScanPackedVsRaw<D>(array, *leaf, q);
+    }
+    // A query covering everything and one hitting nothing.
+    Box<D> all, none;
+    for (int d = 0; d < D; ++d) {
+      all.lo[d] = -kInf;
+      all.hi[d] = kInf;
+      none.lo[d] = Scalar{-500};
+      none.hi[d] = Scalar{-400};
+    }
+    CheckStreamScanPackedVsRaw<D>(array, *leaf, all);
+    CheckStreamScanPackedVsRaw<D>(array, *leaf, none);
+  }
+}
+
+void TestStreamScanPackedVsRaw2D() { RunStreamScanTest<2>(false, false); }
+void TestStreamScanPackedVsRaw3D() { RunStreamScanTest<3>(false, false); }
+void TestStreamScanDuplicateHeavy() { RunStreamScanTest<3>(true, false); }
+void TestStreamScanAllDead() { RunStreamScanTest<3>(false, true); }
+
+void TestScanScratchShrinks() {
+  using quasii::internal::ScanScratch;
+  ScanScratch s;
+  // Grow far past the cap, then report a burst of small scans: capacity
+  // must fall back to roughly the working size after kShrinkStreak scans.
+  s.mask.assign(4u << 20, 1);
+  s.ids.assign(1u << 21, 0);
+  CHECK_GT(s.mask.capacity(), ScanScratch::kCapBytes);
+  CHECK_GT(s.ids.capacity() * sizeof(ObjectId), ScanScratch::kCapBytes);
+  for (int i = 0; i < ScanScratch::kShrinkStreak - 1; ++i) {
+    s.Release(1024, 256);
+    CHECK_GT(s.mask.capacity(), ScanScratch::kCapBytes);  // not yet
+  }
+  // One big scan resets the streak...
+  s.Release(s.mask.capacity(), s.ids.capacity());
+  for (int i = 0; i < ScanScratch::kShrinkStreak - 1; ++i) {
+    s.Release(1024, 256);
+    CHECK_GT(s.mask.capacity(), ScanScratch::kCapBytes);
+  }
+  // ...and the streak's final small scan triggers the shrink.
+  s.Release(1024, 256);
+  CHECK_LE(s.mask.capacity(), ScanScratch::kCapBytes);
+  CHECK_LE(s.ids.capacity() * sizeof(ObjectId), ScanScratch::kCapBytes);
+  // Below-cap scratch is left alone no matter the streak.
+  const std::size_t cap_before = s.mask.capacity();
+  for (int i = 0; i < 2 * ScanScratch::kShrinkStreak; ++i) s.Release(1, 1);
+  CHECK_EQ(s.mask.capacity(), cap_before);
+}
+
+void TestQuasiiPackedEndToEnd() {
+  quasii::datagen::UniformDatasetParams dp;
+  dp.count = 20000;
+  dp.seed = 7;
+  const quasii::Dataset3 data = quasii::datagen::MakeUniformDataset(dp);
+  const Box3 universe = quasii::datagen::UniformUniverse(dp);
+  quasii::datagen::UniformQueryParams qp;
+  qp.count = 400;
+  qp.selectivity = 1e-3;
+  qp.seed = 8;
+  const auto queries = quasii::datagen::MakeUniformQueries(universe, qp);
+
+  QuasiiIndex<3> index(data);
+  for (const Box3& q : queries) {
+    std::vector<ObjectId> sink_out;
+    RangeQueryInto(index, q, &sink_out);
+  }
+  if (!QuasiiIndex<3>::PackingEnabled()) return;  // QUASII_NO_PACK=1 run
+  const auto mem = index.column_memory();
+  CHECK_GT(mem.packed_leaves, 0u);
+  CHECK_GT(mem.packed_rows, 0u);
+  CHECK_LT(mem.resident_bytes, mem.raw_bytes);
+
+  // Packed and raw scans agree query-for-query, at the native tier and
+  // forced scalar.
+  ForEachTier([&] {
+    for (std::size_t i = 0; i < 50; ++i) {
+      std::vector<ObjectId> packed_ids, raw_ids;
+      index.set_packed_scan_enabled(true);
+      RangeQueryInto(index, queries[i], &packed_ids);
+      index.set_packed_scan_enabled(false);
+      RangeQueryInto(index, queries[i], &raw_ids);
+      index.set_packed_scan_enabled(true);
+      std::sort(packed_ids.begin(), packed_ids.end());
+      std::sort(raw_ids.begin(), raw_ids.end());
+      CHECK(packed_ids == raw_ids);
+    }
+  });
+
+  // Snapshot structure -> restore: packed leaves are re-frozen on load
+  // (they are derived state, not serialized) and replaying queries cracks
+  // nothing.
+  std::string blob;
+  CHECK(index.SaveStructure(&blob));
+  QuasiiIndex<3> restored(data);
+  CHECK(restored.LoadStructure(blob));
+  const auto rmem = restored.column_memory();
+  CHECK_EQ(rmem.packed_leaves, mem.packed_leaves);
+  CHECK_EQ(rmem.packed_rows, mem.packed_rows);
+  CHECK_EQ(rmem.resident_bytes, mem.resident_bytes);
+  restored.ResetStats();
+  for (const Box3& q : queries) {
+    std::vector<ObjectId> got, want;
+    RangeQueryInto(restored, q, &got);
+    RangeQueryInto(index, q, &want);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    CHECK(got == want);
+  }
+  CHECK_EQ(restored.stats().cracks, 0u);
+}
+
+}  // namespace
+
+int main() {
+  RUN_TEST(TestTierControls);
+  RUN_TEST(TestMaskLeGeMatchesScalar);
+  RUN_TEST(TestMaskCountAndCompactMatchScalar);
+  RUN_TEST(TestPackedColumnRoundTrip);
+  RUN_TEST(TestMaskPackedMatchesFloatReference);
+  RUN_TEST(TestStreamScanPackedVsRaw2D);
+  RUN_TEST(TestStreamScanPackedVsRaw3D);
+  RUN_TEST(TestStreamScanDuplicateHeavy);
+  RUN_TEST(TestStreamScanAllDead);
+  RUN_TEST(TestScanScratchShrinks);
+  RUN_TEST(TestQuasiiPackedEndToEnd);
+  std::printf("test_simd: all tests passed\n");
+  return 0;
+}

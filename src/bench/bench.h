@@ -30,6 +30,22 @@
 
 namespace quasii::bench {
 
+/// Linear-interpolated percentile of a latency sample, `p` in [0, 1].
+/// Copies and sorts; the report paths call it a handful of times per run.
+/// Shared by the bench report (p50/p90/p99 per thread and overall) and the
+/// wire client's per-client tail-latency summary.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 1.0) return values.back();
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
 /// Durability wiring of a run (`src/persist/`): WAL every accepted
 /// mutation, periodic snapshots, and an optional recover-before-run phase.
 /// Restricted to sequential single-index runs — persistence is
@@ -245,8 +261,8 @@ struct TimedExec {
 inline TimedExec ExecTimedOp(SpatialIndex<3>* index, const Op3& op,
                              RunSinks* sinks) {
   TimedExec exec;
-  if (op.kind == OpKind::kQuery) {
-    const Query3& q = op.query;
+  if (op.kind() == OpKind::kQuery) {
+    const Query3& q = op.query();
     if (q.type() == QueryType::kCount) {
       sinks->count_sink.Reset();
       Timer t;
@@ -262,10 +278,10 @@ inline TimedExec ExecTimedOp(SpatialIndex<3>* index, const Op3& op,
     }
     return exec;
   }
-  if (op.kind == OpKind::kJoin) {
+  if (op.kind() == OpKind::kJoin) {
     // The query is built here, at execution time: it borrows the op-owned
     // stream vector, which is only stable for this call.
-    const Query3 q = JoinQuery<3>(op.join_stream);
+    const Query3 q = JoinQuery<3>(op.join_stream());
     sinks->pair_count.Reset();
     Timer t;
     index->Execute(q, sinks->pair_count);
@@ -274,9 +290,9 @@ inline TimedExec ExecTimedOp(SpatialIndex<3>* index, const Op3& op,
     return exec;
   }
   Timer t;
-  const bool accepted = op.kind == OpKind::kInsert
-                            ? index->Insert(op.id, op.box)
-                            : index->Erase(op.id);
+  const bool accepted = op.kind() == OpKind::kInsert
+                            ? index->Insert(op.id(), op.box())
+                            : index->Erase(op.id());
   exec.ms = t.Millis();
   exec.results = accepted ? 1 : 0;
   return exec;
@@ -318,10 +334,7 @@ inline TimedExec RunTimedOp(SpatialIndex<3>* index, const Op3& op,
 inline TimedExec RunTimedQuery(
     SpatialIndex<3>* index, const Query3& q, RunSinks* sinks,
     std::array<TypeBreakdown, kNumOpTypes>* per_type) {
-  Op3 op;
-  op.kind = OpKind::kQuery;
-  op.query = q;
-  return RunTimedOp(index, op, sinks, per_type);
+  return RunTimedOp(index, Op3::MakeQuery(q), sinks, per_type);
 }
 
 /// Sequential measurement loop. With a durability config, every accepted
@@ -357,15 +370,14 @@ inline IndexRun RunIndex(SpatialIndex<3>* index, const std::vector<Op3>& ops,
     run.latencies_ms.push_back(exec.ms);
     run.total_query_ms += exec.ms;
     run.result_objects += exec.results;
-    const bool mutation =
-        op.kind == OpKind::kInsert || op.kind == OpKind::kErase;
+    const bool mutation = op.is_mutation();
     if (logging && mutation && exec.results == 1) {
       persist::WalRecord<3> rec;
       rec.lsn = index->store().version();
-      rec.id = op.id;
-      if (op.kind == OpKind::kInsert) {
+      rec.id = op.id();
+      if (op.kind() == OpKind::kInsert) {
         rec.op = persist::WalOp::kInsert;
-        rec.box = op.box;
+        rec.box = op.box();
       } else {
         rec.op = persist::WalOp::kErase;
       }
@@ -544,7 +556,7 @@ inline std::string RunBenchmark(const BenchConfig& config,
   JsonWriter w;
   w.BeginObject();
   const bool durable = config.durability.enabled() && error != nullptr;
-  w.Key("schema").String("quasii-bench-v7");
+  w.Key("schema").String("quasii-bench-v8");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);
@@ -597,6 +609,12 @@ inline std::string RunBenchmark(const BenchConfig& config,
     w.Key("index").String(run.name);
     w.Key("build_ms").Double(run.build_ms);
     w.Key("total_query_ms").Double(run.total_query_ms);
+    // Tail-latency summary over every client-observed per-op latency of the
+    // run (all threads concatenated in a threaded run) — the v8 headline
+    // metric next to the full latency array.
+    w.Key("p50_ms").Double(Percentile(run.latencies_ms, 0.50));
+    w.Key("p90_ms").Double(Percentile(run.latencies_ms, 0.90));
+    w.Key("p99_ms").Double(Percentile(run.latencies_ms, 0.99));
     w.Key("result_objects").Uint(run.result_objects);
     w.Key("cumulative_stats");
     WriteStats(&w, run.cumulative);
@@ -614,6 +632,11 @@ inline std::string RunBenchmark(const BenchConfig& config,
         w.Key("thread").Uint(static_cast<std::uint64_t>(section.thread));
         w.Key("ops").Uint(section.latencies_ms.size());
         w.Key("total_ms").Double(section.total_ms);
+        // Per-client tail latency under the concurrent mixed workload —
+        // each thread is one client of the run.
+        w.Key("p50_ms").Double(Percentile(section.latencies_ms, 0.50));
+        w.Key("p90_ms").Double(Percentile(section.latencies_ms, 0.90));
+        w.Key("p99_ms").Double(Percentile(section.latencies_ms, 0.99));
         w.Key("result_objects").Uint(section.result_objects);
         w.Key("latencies_ms").BeginArray();
         for (const double ms : section.latencies_ms) w.Double(ms);

@@ -116,7 +116,7 @@ inline std::vector<ScalingPoint> MeasureScaling(SpatialIndex<3>* index,
   std::vector<Query3> queries;
   queries.reserve(ops.size());
   for (const Op3& op : ops) {
-    if (op.kind == OpKind::kQuery) queries.push_back(op.query);
+    if (op.kind() == OpKind::kQuery) queries.push_back(op.query());
   }
   std::vector<ScalingPoint> points;
   if (queries.empty()) return points;
@@ -187,11 +187,12 @@ inline double TimeRangePass(SpatialIndex<3>* index,
   VectorSink sink(&ids);
   Timer t;
   for (const Op3& op : ops) {
-    if (op.kind != OpKind::kQuery || op.query.type() != QueryType::kRange) {
+    if (op.kind() != OpKind::kQuery) continue;
+    if (op.query().type() != QueryType::kRange) {
       continue;
     }
     ids.clear();
-    index->Execute(op.query, sink);
+    index->Execute(op.query(), sink);
   }
   return t.Millis();
 }
@@ -216,11 +217,12 @@ inline std::uint64_t RangeQueryChecksum(
     checksum = (checksum ^ v) * 1099511628211ull;
   };
   for (const Op3& op : ops) {
-    if (op.kind != OpKind::kQuery || op.query.type() != QueryType::kRange) {
+    if (op.kind() != OpKind::kQuery) continue;
+    if (op.query().type() != QueryType::kRange) {
       continue;
     }
     ids.clear();
-    index->Execute(op.query, id_sink);
+    index->Execute(op.query(), id_sink);
     std::sort(ids.begin(), ids.end());
     fnv(ids.size());
     for (const ObjectId id : ids) fnv(id);
@@ -398,7 +400,7 @@ inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
     run.result_objects += exec.results;
     // The first *query* (mutations before it are cheap appends and don't
     // initialize an incremental index) — the §6.2 index-building cost.
-    if (!first_query_recorded && ops[i].kind == OpKind::kQuery) {
+    if (!first_query_recorded && ops[i].kind() == OpKind::kQuery) {
       run.first_query_ms = exec.ms;
       first_query_recorded = true;
     }
@@ -426,7 +428,7 @@ inline MicroRun RunMicro(SpatialIndex<3>* index, const std::vector<Op3>& ops) {
   double tail_ms = 0;
   std::size_t tail_queries = 0;
   for (std::size_t i = ops.size() - tail; i < ops.size(); ++i) {
-    if (ops[i].kind != OpKind::kQuery) continue;
+    if (ops[i].kind() != OpKind::kQuery) continue;
     tail_ms += RunTimedOp(index, ops[i], &sinks, &scratch).ms;
     ++tail_queries;
   }

@@ -7,9 +7,11 @@
 #include <cstdlib>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/query.h"
+#include "common/request.h"
 #include "common/rng.h"
 #include "geometry/box.h"
 
@@ -132,40 +134,38 @@ int TypeIndexOf(const Query<D>& q) {
   return kTypeRange;
 }
 
-/// One operation of a (possibly read/write) workload stream.
-enum class OpKind { kQuery, kJoin, kInsert, kErase };
+/// One operation of a (possibly read/write) workload stream IS a typed
+/// request — the same validated sum type the wire protocol, the workload
+/// recorder, and the query server speak, so a generated stream can be
+/// executed in-process, serialized, or served without re-encoding. The
+/// legacy `Op`/`OpKind` names are aliases kept for the existing bench
+/// surface; a stream-join request owns its box window (`join_stream()`),
+/// and the `JoinQuery` is built at execution time because a query borrowing
+/// that vector would dangle as soon as the op is copied.
+using OpKind = RequestKind;
 
 template <int D>
-struct Op {
-  OpKind kind = OpKind::kQuery;
-  /// kQuery: the typed query.
-  Query<D> query;
-  /// kInsert / kErase: the target object id.
-  ObjectId id = 0;
-  /// kInsert: the new object's MBB.
-  Box<D> box;
-  /// kJoin: the op-owned right-hand box stream. The `JoinQuery` is built at
-  /// execution time (a query borrowing this vector would dangle as soon as
-  /// the op is copied).
-  std::vector<Box<D>> join_stream;
-};
+using Op = Request<D>;
 
 using Op2 = Op<2>;
 using Op3 = Op<3>;
 
 template <int D>
 int OpTypeIndexOf(const Op<D>& op) {
-  switch (op.kind) {
-    case OpKind::kJoin:
+  switch (op.kind()) {
+    case RequestKind::kJoin:
       return kTypeJoin;
-    case OpKind::kInsert:
+    case RequestKind::kInsert:
       return kTypeInsert;
-    case OpKind::kErase:
+    case RequestKind::kErase:
       return kTypeErase;
-    case OpKind::kQuery:
-      break;
+    case RequestKind::kQuery:
+    case RequestKind::kStats:
+    case RequestKind::kSnapshot:
+    case RequestKind::kPing:
+      break;  // admin ops never appear in generated streams
   }
-  return TypeIndexOf(op.query);
+  return TypeIndexOf(op.query());
 }
 
 /// A data-like object for an insert op, derived deterministically from the
@@ -234,13 +234,13 @@ std::vector<Op<D>> MakeOpStream(const std::vector<Box<D>>& boxes,
     Op<D> op;
     switch (pick) {
       case kTypePoint:
-        op.query = PointQuery<D>(b.Center());
+        op = Op<D>::MakeQuery(PointQuery<D>(b.Center()));
         break;
       case kTypeCount:
-        op.query = CountQuery<D>(b);
+        op = Op<D>::MakeQuery(CountQuery<D>(b));
         break;
       case kTypeKnn:
-        op.query = KNearestQuery<D>(b.Center(), spec.knn_k);
+        op = Op<D>::MakeQuery(KNearestQuery<D>(b.Center(), spec.knn_k));
         break;
       case kTypeJoin: {
         const std::size_t window =
@@ -248,41 +248,40 @@ std::vector<Op<D>> MakeOpStream(const std::vector<Box<D>>& boxes,
                 ? 0
                 : std::min(spec.join_window, join_source->size());
         if (window == 0) {
-          op.query = RangeQuery<D>(b);
+          op = Op<D>::MakeQuery(RangeQuery<D>(b));
           break;
         }
-        op.kind = OpKind::kJoin;
         const std::size_t offset = static_cast<std::size_t>(rng.UniformInt(
             0, static_cast<std::int64_t>(join_source->size() - window)));
-        op.join_stream.assign(join_source->begin() + offset,
-                              join_source->begin() + offset + window);
+        op = Op<D>::MakeStreamJoin(std::vector<Box<D>>(
+            join_source->begin() + offset,
+            join_source->begin() + offset + window));
         break;
       }
-      case kTypeInsert:
-        op.kind = OpKind::kInsert;
-        op.id = next_id++;
-        op.box = MakeInsertBox(b, &rng);
-        pool.push_back(op.id);
+      case kTypeInsert: {
+        const ObjectId id = next_id++;
+        op = Op<D>::MakeInsert(id, MakeInsertBox(b, &rng));
+        pool.push_back(id);
         break;
+      }
       case kTypeErase:
         if (pool.empty()) {
-          op.query = RangeQuery<D>(b);
+          op = Op<D>::MakeQuery(RangeQuery<D>(b));
           break;
         }
-        op.kind = OpKind::kErase;
         {
           const std::size_t victim = static_cast<std::size_t>(rng.UniformInt(
               0, static_cast<std::int64_t>(pool.size()) - 1));
-          op.id = pool[victim];
+          op = Op<D>::MakeErase(pool[victim]);
           pool[victim] = pool.back();
           pool.pop_back();
         }
         break;
       default:
-        op.query = RangeQuery<D>(b);
+        op = Op<D>::MakeQuery(RangeQuery<D>(b));
         break;
     }
-    ops.push_back(op);
+    ops.push_back(std::move(op));
   }
   return ops;
 }
@@ -354,7 +353,7 @@ std::vector<Query<D>> MakeTypedWorkload(const std::vector<Box<D>>& boxes,
   std::vector<Query<D>> queries;
   queries.reserve(boxes.size());
   for (const Op<D>& op : MakeOpWorkload(boxes, spec, /*initial_n=*/0)) {
-    if (op.kind == OpKind::kQuery) queries.push_back(op.query);
+    if (op.kind() == RequestKind::kQuery) queries.push_back(op.query());
   }
   return queries;
 }

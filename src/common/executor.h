@@ -37,17 +37,30 @@ class ThreadPool {
     }
   }
 
-  ~ThreadPool() {
+  /// Destruction is a full `Shutdown()`: every task submitted before the
+  /// destructor runs — queued-but-unstarted ones included — executes to
+  /// completion before the workers join. Tasks are never dropped.
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Deterministic drain-and-join: signals the workers to exit once the
+  /// queue is empty, then blocks until they have finished every task
+  /// submitted so far and joined. This is the shutdown contract the query
+  /// server builds on — an accepted (submitted) request cannot be dropped
+  /// by tearing the pool down. Idempotent; `Submit` after `Shutdown` is a
+  /// programming error (the task would never run).
+  void Shutdown() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
-    for (std::thread& w : workers_) w.join();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
   }
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -128,6 +141,18 @@ class BatchExecutor {
   /// query order.
   std::vector<BatchResult> Run(SpatialIndex<D>* index,
                                std::span<const Query<D>> queries) {
+    return Run(index, queries, nullptr);
+  }
+
+  /// As above, but additionally invokes `on_result(i, results[i])` on the
+  /// executing worker thread the moment query `i` completes, so streaming
+  /// consumers (latency recording, the query server's bookkeeping) need not
+  /// wait for the whole batch. The callback runs concurrently from several
+  /// workers and must be thread-safe; results are still returned in query
+  /// order after the full batch drains.
+  std::vector<BatchResult> Run(
+      SpatialIndex<D>* index, std::span<const Query<D>> queries,
+      const std::function<void(std::size_t, const BatchResult&)>& on_result) {
     std::vector<BatchResult> results(queries.size());
     const std::uint64_t version_before = index->store().version();
     const std::size_t threads =
@@ -135,7 +160,7 @@ class BatchExecutor {
     const std::size_t chunk = (queries.size() + threads - 1) / threads;
     for (std::size_t begin = 0; begin < queries.size(); begin += chunk) {
       const std::size_t end = std::min(begin + chunk, queries.size());
-      pool_->Submit([index, queries, &results, begin, end] {
+      pool_->Submit([index, queries, &results, &on_result, begin, end] {
         CountSink count_sink;
         for (std::size_t i = begin; i < end; ++i) {
           BatchResult& out = results[i];
@@ -151,6 +176,7 @@ class BatchExecutor {
             index->Execute(queries[i], sink);
             out.count = out.ids.size();
           }
+          if (on_result) on_result(i, out);
         }
       });
     }

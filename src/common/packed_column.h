@@ -263,7 +263,9 @@ inline void MaskPackedCmp(const PackedColumn& col, std::uint32_t bound,
     case ColVerdict::kAllPass:
       return;
     case ColVerdict::kAllFail:
-      std::memset(mask, 0, n);
+      // n may be 0 with mask == nullptr (empty leaf); memset's pointer
+      // argument must be non-null even then.
+      if (n != 0) std::memset(mask, 0, n);
       return;
     case ColVerdict::kCompare:
       break;
@@ -306,7 +308,7 @@ inline void MaskPackedLeGe(const PackedColumn& le_col, std::uint32_t le_bound,
   const ColVerdict ge_v =
       internal::Classify<false>(ge_col, ge_bound, &ge_delta);
   if (le_v == ColVerdict::kAllFail || ge_v == ColVerdict::kAllFail) {
-    std::memset(mask, 0, n);
+    if (n != 0) std::memset(mask, 0, n);
     return;
   }
   const bool le_cmp = le_v == ColVerdict::kCompare;

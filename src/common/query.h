@@ -62,6 +62,26 @@ struct ConjunctiveTerm {
   std::abort();
 }
 
+/// Whether every coordinate is a finite number — the validation gate the
+/// `Try*` factories apply to untrusted (wire/parsed) descriptions. NaN
+/// poisons every comparison-based traversal and infinities are reserved
+/// for the sentinel empty box, so neither belongs in a deserialized query.
+template <int D>
+bool IsFinite(const Point<D>& p) {
+  for (int d = 0; d < D; ++d) {
+    if (!std::isfinite(p[d])) return false;
+  }
+  return true;
+}
+
+template <int D>
+bool IsFinite(const Box<D>& b) {
+  for (int d = 0; d < D; ++d) {
+    if (!std::isfinite(b.lo[d]) || !std::isfinite(b.hi[d])) return false;
+  }
+  return true;
+}
+
 /// The driver of a conjunctive plan: the term whose box has the smallest
 /// volume generates the candidates (the first minimal term wins, so the
 /// choice is deterministic); every other term filters the candidates
@@ -142,9 +162,29 @@ class Query {
     return q;
   }
 
+  /// Validating variants for untrusted descriptions (the wire protocol and
+  /// other parsers): reject NaN/infinite coordinates, which the trusting
+  /// `Make*` factories accept unchecked from in-process callers.
+  static std::optional<Query> TryRange(const Box<D>& box,
+                                       RangePredicate predicate) {
+    if (!IsFinite(box)) return std::nullopt;
+    return MakeRange(box, predicate);
+  }
+
+  static std::optional<Query> TryPoint(const Point<D>& point) {
+    if (!IsFinite(point)) return std::nullopt;
+    return MakePoint(point);
+  }
+
+  static std::optional<Query> TryCount(const Box<D>& box,
+                                       RangePredicate predicate) {
+    if (!IsFinite(box)) return std::nullopt;
+    return MakeCount(box, predicate);
+  }
+
   static std::optional<Query> TryKNearest(const Point<D>& point,
                                           std::size_t k) {
-    if (k == 0) return std::nullopt;
+    if (k == 0 || !IsFinite(point)) return std::nullopt;
     Query q;
     q.type_ = QueryType::kKNearest;
     q.point_ = point;

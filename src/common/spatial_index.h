@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/object_store.h"
 #include "common/query.h"
 #include "common/query_stats.h"
@@ -127,22 +128,36 @@ class SpatialIndex {
   /// --- Persistence surface (used by `src/persist/`) ---
   ///
   /// Serializes the index's internal structure (everything beyond the
-  /// store: crack columns, slice trees, packed nodes) into `out` and
-  /// returns true. The default returns false: the index declares
+  /// store: crack columns, slice trees, packed nodes) by appending to
+  /// `out` and returns true. The default returns false: the index declares
   /// *rebuild-from-store* and a snapshot carries only the object table.
   /// Not thread-safe — call while no query is in flight.
-  virtual bool SaveStructure(std::string* out) const {
+  virtual bool SerializeStructure(ByteWriter& out) const {
     (void)out;
     return false;
   }
 
-  /// Restores structure previously produced by `SaveStructure`, after the
-  /// store has been restored via `RestoreSlots`. Returns false when the
+  /// Restores structure previously produced by `SerializeStructure`, after
+  /// the store has been restored via `RestoreSlots`. Returns false when the
   /// blob is inconsistent — the caller must treat the index as unusable
   /// (recovery surfaces this as a typed error). Not thread-safe.
-  virtual bool LoadStructure(const std::string& bytes) {
+  virtual bool DeserializeStructure(std::string_view bytes) {
     (void)bytes;
     return false;
+  }
+
+  /// Deprecated: thin shim over `SerializeStructure` kept for one release
+  /// so out-of-tree callers keep compiling; prefer the `ByteWriter`-based
+  /// API, which composes with the other `bytes.h` codecs.
+  bool SaveStructure(std::string* out) const {
+    ByteWriter w(out);
+    return SerializeStructure(w);
+  }
+
+  /// Deprecated: thin shim over `DeserializeStructure` kept for one
+  /// release; prefer the `std::string_view`-based API.
+  bool LoadStructure(const std::string& bytes) {
+    return DeserializeStructure(std::string_view(bytes));
   }
 
   /// Store-only restore path: re-derives the structure from the restored

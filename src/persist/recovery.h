@@ -64,7 +64,7 @@ RecoveryResult RecoverIndex(SpatialIndex<D>* index,
       }
       index->MutableStoreForRecovery().RestoreSlots(
           std::move(snap.boxes), std::move(snap.alive), snap.lsn);
-      if (snap.has_structure && index->LoadStructure(snap.structure)) {
+      if (snap.has_structure && index->DeserializeStructure(snap.structure)) {
         out.structure_restored = true;
       } else if (snap.has_structure) {
         out.error = PersistError::kStructureCorrupt;

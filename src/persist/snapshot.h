@@ -29,11 +29,11 @@ namespace quasii::persist {
 /// `lsn` is `ObjectStore::version()` at capture time, which ties the
 /// snapshot to its place in the WAL: recovery replays exactly the records
 /// with larger LSNs. The structure blob is the index's own
-/// `SaveStructure` serialization (QUASII's crack columns + slice tree,
-/// R-Tree's packed levels); indexes without one are restored by
+/// `SerializeStructure` serialization (QUASII's crack columns + slice
+/// tree, R-Tree's packed levels); indexes without one are restored by
 /// `RebuildFromStore`. Derived acceleration state is deliberately NOT
 /// serialized: QUASII's bit-packed frozen-leaf columns are rebuilt by
-/// `LoadStructure` from the restored slice tree (same leaves, same
+/// `DeserializeStructure` from the restored slice tree (same leaves, same
 /// frames), so the format is independent of packing policy and the
 /// restored index still replays converged workloads with zero cracks.
 ///
@@ -65,7 +65,8 @@ PersistError WriteSnapshot(const SpatialIndex<D>& index,
     w.U8(store.alive(static_cast<ObjectId>(i)) ? 1 : 0);
   }
   std::string structure;
-  const bool has_structure = index.SaveStructure(&structure);
+  ByteWriter sw(&structure);
+  const bool has_structure = index.SerializeStructure(sw);
   w.U8(has_structure ? 1 : 0);
   if (has_structure) w.Str(structure);
 

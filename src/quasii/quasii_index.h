@@ -176,8 +176,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// Snapshot structure blob: the crack-array columns plus the slice
   /// hierarchy, so a recovered index resumes exactly as converged as it
   /// was — a replayed query workload cracks nothing.
-  bool SaveStructure(std::string* out) const override {
-    ByteWriter w(out);
+  bool SerializeStructure(ByteWriter& w) const override {
     w.U8(initialized_ ? 1 : 0);
     if (!initialized_) return true;
     array_.EncodeTo(&w);
@@ -186,7 +185,7 @@ class QuasiiIndex final : public SpatialIndex<D> {
     return true;
   }
 
-  bool LoadStructure(const std::string& bytes) override {
+  bool DeserializeStructure(std::string_view bytes) override {
     ByteReader r(bytes);
     const bool init = r.U8() != 0;
     if (!r.ok()) return false;

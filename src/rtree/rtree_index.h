@@ -132,8 +132,7 @@ class RTreeIndex final : public SpatialIndex<D> {
   /// Snapshot structure blob: the STR-ordered entry array, every node
   /// level, and the overflow lists — a recovered tree answers queries
   /// without re-running the bulk load.
-  bool SaveStructure(std::string* out) const override {
-    ByteWriter w(out);
+  bool SerializeStructure(ByteWriter& w) const override {
     w.U8(built_ ? 1 : 0);
     if (!built_) return true;
     w.U64(entries_.size());
@@ -155,7 +154,7 @@ class RTreeIndex final : public SpatialIndex<D> {
     return true;
   }
 
-  bool LoadStructure(const std::string& bytes) override {
+  bool DeserializeStructure(std::string_view bytes) override {
     ByteReader r(bytes);
     const bool built = r.U8() != 0;
     if (!r.ok()) return false;

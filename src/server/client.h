@@ -1,0 +1,146 @@
+#ifndef QUASII_SERVER_CLIENT_H_
+#define QUASII_SERVER_CLIENT_H_
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/request.h"
+#include "server/protocol.h"
+
+namespace quasii::server {
+
+/// One received response, still carrying the raw serialized body so callers
+/// can fold it into a response-stream checksum identical to what an
+/// in-process replay computes (the body deliberately excludes `seq`).
+template <int D>
+struct ClientReply {
+  std::uint64_t seq = 0;
+  Response<D> response;
+  std::string body;
+};
+
+/// Minimal synchronous wire client: connect (or adopt a socketpair end),
+/// handshake, then `Send`/`Recv`. Pipelining is the caller's business —
+/// `Send` never waits for a reply, `Recv` returns replies in arrival order,
+/// which the server guarantees is execution order.
+template <int D>
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects to a Unix-domain socket.
+  bool ConnectUds(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  /// Takes ownership of an already-connected fd (socketpair test path).
+  void Adopt(int fd) {
+    Close();
+    fd_ = fd;
+  }
+
+  int fd() const { return fd_; }
+  bool connected() const { return fd_ >= 0; }
+
+  /// Exchanges hellos; false on any mismatch (wrong D, scalar width, or
+  /// wire format — the typed handshake failure the protocol promises).
+  bool Handshake() {
+    if (fd_ < 0) return false;
+    if (!WriteFrame(fd_, HelloPayload())) return false;
+    std::string payload;
+    if (ReadFrame(fd_, &payload) != WireError::kNone) return false;
+    return CheckHelloPayload(payload);
+  }
+
+  /// Frames and sends one request; returns the sequence number to match
+  /// against `Recv` replies, or nullopt on a dead connection.
+  std::optional<std::uint64_t> Send(std::uint8_t target,
+                                    const Request<D>& request) {
+    if (fd_ < 0) return std::nullopt;
+    const std::uint64_t seq = next_seq_++;
+    std::string payload;
+    ByteWriter w(&payload);
+    w.U64(seq);
+    w.U8(target);
+    request.Serialize(&w);
+    if (!WriteFrame(fd_, payload)) return std::nullopt;
+    return seq;
+  }
+
+  /// Receives one reply. On failure returns nullopt and stores the frame
+  /// error in `last_error()`; a reply whose body does not parse is also a
+  /// failure (`WireError::kBadCrc` stands in for "body unintelligible" —
+  /// both mean the stream cannot be trusted further).
+  std::optional<ClientReply<D>> Recv() {
+    if (fd_ < 0) return std::nullopt;
+    std::string payload;
+    last_error_ = ReadFrame(fd_, &payload);
+    if (last_error_ != WireError::kNone) return std::nullopt;
+    if (payload.size() < 8) {
+      last_error_ = WireError::kBadCrc;
+      return std::nullopt;
+    }
+    ClientReply<D> out;
+    ByteReader r(payload.data(), payload.size());
+    out.seq = r.U64();
+    out.body = payload.substr(8);
+    auto resp = Response<D>::TryParse(std::string_view(out.body));
+    if (!resp) {
+      last_error_ = WireError::kBadCrc;
+      return std::nullopt;
+    }
+    out.response = *std::move(resp);
+    return out;
+  }
+
+  /// Send-then-receive convenience for strictly serial callers.
+  std::optional<ClientReply<D>> Call(std::uint8_t target,
+                                     const Request<D>& request) {
+    if (!Send(target, request)) return std::nullopt;
+    return Recv();
+  }
+
+  WireError last_error() const { return last_error_; }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  WireError last_error_ = WireError::kNone;
+};
+
+}  // namespace quasii::server
+
+#endif  // QUASII_SERVER_CLIENT_H_

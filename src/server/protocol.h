@@ -1,0 +1,191 @@
+#ifndef QUASII_SERVER_PROTOCOL_H_
+#define QUASII_SERVER_PROTOCOL_H_
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "geometry/point.h"
+#include "persist/crc32c.h"
+
+namespace quasii::server {
+
+/// Wire framing of the query protocol, shared by server and client. Every
+/// message is one frame:
+///
+///   [u32 len] [u32 crc32c(payload)] [payload, `len` bytes]
+///
+/// — the WAL's proven self-verifying frame (src/persist/wal.h), applied to
+/// a socket: a reader always knows whether it holds an intact payload, and
+/// every damaged input maps to a typed `WireError`, never UB. `len` is
+/// capped; an oversized header is treated as a protocol violation and the
+/// connection is dropped (the stream cannot be resynchronized).
+///
+/// The first frame in each direction is a hello with payload
+///
+///   [u32 magic "QSWP"] [u32 wire format] [u32 D] [u32 sizeof(Scalar)]
+///
+/// so dimension/scalar/format mismatches die in the handshake with a typed
+/// error instead of as garbage query results.
+///
+/// After the handshake, client→server payloads are request envelopes
+///
+///   [u64 seq] [u8 target index] [Request<D> bytes]
+///
+/// and server→client payloads are response envelopes
+///
+///   [u64 seq] [Response<D> bytes]
+///
+/// `seq` is chosen by the client (unique per connection) and echoed
+/// verbatim, which is what makes pipelining safe; the response body
+/// excludes it, so response checksums compare across transports.
+
+inline constexpr std::uint32_t kHelloMagic = 0x50575351u;  // "QSWP"
+inline constexpr std::uint32_t kWireFormatVersion = 1;
+
+/// Generous payload cap (16 MiB): large enough for any in-cap request or
+/// response, small enough that a hostile length field cannot drive an
+/// allocation storm.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 24;
+
+/// Typed outcome of reading one frame. Everything except `kNone` ends the
+/// connection: after a framing-level failure the byte stream has no
+/// trustworthy resynchronization point.
+enum class WireError {
+  kNone = 0,
+  kClosed,     ///< clean EOF between frames (orderly shutdown)
+  kTorn,       ///< EOF inside a frame (peer died mid-write)
+  kIo,         ///< read/write syscall failure
+  kOversized,  ///< header length exceeds `kMaxFramePayload`
+  kBadCrc,     ///< payload present but checksum disagrees
+};
+
+inline const char* WireErrorName(WireError e) {
+  switch (e) {
+    case WireError::kNone:
+      return "none";
+    case WireError::kClosed:
+      return "closed";
+    case WireError::kTorn:
+      return "torn";
+    case WireError::kIo:
+      return "io";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kBadCrc:
+      return "bad_crc";
+  }
+  return "?";
+}
+
+/// Writes all `n` bytes, retrying on EINTR/short writes. MSG_NOSIGNAL keeps
+/// a dead peer an error return instead of a SIGPIPE.
+inline bool WriteFull(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// How a `ReadFull` concluded: all bytes read, EOF before the first byte,
+/// EOF mid-span, or a syscall failure.
+enum class ReadOutcome { kOk, kEofAtStart, kEofMidway, kError };
+
+/// Reads exactly `n` bytes, retrying on EINTR.
+inline ReadOutcome ReadFull(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kError;
+    }
+    if (r == 0) {
+      return got == 0 ? ReadOutcome::kEofAtStart : ReadOutcome::kEofMidway;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadOutcome::kOk;
+}
+
+/// Reads one frame into `payload` (replaced, not appended).
+inline WireError ReadFrame(int fd, std::string* payload) {
+  char header[8];
+  switch (ReadFull(fd, header, sizeof(header))) {
+    case ReadOutcome::kOk:
+      break;
+    case ReadOutcome::kEofAtStart:
+      return WireError::kClosed;
+    case ReadOutcome::kEofMidway:
+      return WireError::kTorn;
+    case ReadOutcome::kError:
+      return WireError::kIo;
+  }
+  ByteReader hr(header, sizeof(header));
+  const std::uint32_t len = hr.U32();
+  const std::uint32_t crc = hr.U32();
+  if (len > kMaxFramePayload) return WireError::kOversized;
+  payload->resize(len);
+  if (len > 0) {
+    switch (ReadFull(fd, payload->data(), len)) {
+      case ReadOutcome::kOk:
+        break;
+      case ReadOutcome::kEofAtStart:
+      case ReadOutcome::kEofMidway:
+        return WireError::kTorn;  // EOF inside a frame is torn either way
+      case ReadOutcome::kError:
+        return WireError::kIo;
+    }
+  }
+  if (persist::Crc32c(payload->data(), payload->size()) != crc) {
+    return WireError::kBadCrc;
+  }
+  return WireError::kNone;
+}
+
+/// Frames and writes `payload`. False on any write failure (peer gone).
+inline bool WriteFrame(int fd, std::string_view payload) {
+  std::string frame;
+  ByteWriter w(&frame);
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U32(persist::Crc32c(payload.data(), payload.size()));
+  w.Bytes(payload.data(), payload.size());
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+/// The hello payload this build emits.
+inline std::string HelloPayload() {
+  std::string out;
+  ByteWriter w(&out);
+  w.U32(kHelloMagic);
+  w.U32(kWireFormatVersion);
+  w.U32(3);  // the served dimensionality (the roster is Box3-based)
+  w.U32(static_cast<std::uint32_t>(sizeof(Scalar)));
+  return out;
+}
+
+/// Validates a peer's hello payload against this build.
+inline bool CheckHelloPayload(std::string_view payload) {
+  if (payload.size() != 16) return false;
+  ByteReader r(payload);
+  return r.U32() == kHelloMagic && r.U32() == kWireFormatVersion &&
+         r.U32() == 3 && r.U32() == static_cast<std::uint32_t>(sizeof(Scalar));
+}
+
+}  // namespace quasii::server
+
+#endif  // QUASII_SERVER_PROTOCOL_H_

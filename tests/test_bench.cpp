@@ -274,6 +274,34 @@ void TestReadWriteWorkloadReport() {
   CHECK_EQ(CountOccurrences(report, "\"queries\":0"), 1u * 7u);
 }
 
+void TestTailLatencyReport() {
+  // Schema v8: every index section carries a p50/p90/p99 summary, and a
+  // threaded mixed read/write run additionally carries one per thread —
+  // the per-client tail-latency metric of the serving work.
+  BenchConfig config;
+  config.n = 2000;
+  config.queries = 48;
+  config.threads = 4;
+  config.indexes = {"QUASII"};
+  config.mix = quasii::bench::DefaultReadWriteMix();
+  const std::string report = RunBenchmark(config);
+  CHECK(JsonValidator(report).Valid());
+  CHECK_EQ(CountOccurrences(report, "\"per_thread\":"), 1u);
+  // One index-level summary plus one per thread.
+  CHECK_EQ(CountOccurrences(report, "\"p99_ms\":"), 1u + 4u);
+  CHECK_EQ(CountOccurrences(report, "\"p50_ms\":"), 1u + 4u);
+  CHECK_EQ(CountOccurrences(report, "\"p90_ms\":"), 1u + 4u);
+
+  // The percentile helper itself: exact order statistics on a known sample.
+  std::vector<double> sample = {4.0, 1.0, 3.0, 2.0, 5.0};
+  CHECK_EQ(quasii::bench::Percentile(sample, 0.0), 1.0);
+  CHECK_EQ(quasii::bench::Percentile(sample, 0.5), 3.0);
+  CHECK_EQ(quasii::bench::Percentile(sample, 1.0), 5.0);
+  CHECK_EQ(quasii::bench::Percentile(sample, 0.75), 4.0);
+  CHECK_EQ(quasii::bench::Percentile({}, 0.99), 0.0);
+  CHECK_EQ(quasii::bench::Percentile({7.5}, 0.99), 7.5);
+}
+
 void TestParseWorkloadMix() {
   WorkloadMix mix;
   CHECK(ParseWorkloadMix("range:0.7,point:0.2,count:0.05,knn:0.05", &mix));
@@ -413,7 +441,7 @@ void TestDurableBenchReport() {
   const std::size_t schema_begin = schema_at + schema_key.size();
   const std::string found_schema =
       report.substr(schema_begin, report.find('"', schema_begin) - schema_begin);
-  CHECK_EQ(found_schema, "quasii-bench-v7");
+  CHECK_EQ(found_schema, "quasii-bench-v8");
   CHECK(report.find("\"durability\":") != std::string::npos);
   CHECK(report.find("\"wal_records\":") != std::string::npos);
   CHECK(report.find("\"snapshots_written\":") != std::string::npos);
@@ -459,6 +487,7 @@ int main() {
   RUN_TEST(TestRosterResultCountsAgree);
   RUN_TEST(TestMixedWorkloadReport);
   RUN_TEST(TestReadWriteWorkloadReport);
+  RUN_TEST(TestTailLatencyReport);
   RUN_TEST(TestParseWorkloadMix);
   RUN_TEST(TestCliParsers);
   RUN_TEST(TestDurableBenchReport);

@@ -431,13 +431,13 @@ void TestConcurrentReadWriteStreamsReachSequentialState() {
   std::size_t mutations = 0;
   for (const auto& stream : streams) {
     for (const Op3& op : stream) {
-      if (op.kind == OpKind::kInsert) {
-        CHECK(live.find(op.id) == live.end());
-        live[op.id] = op.box;
+      if (op.kind() == OpKind::kInsert) {
+        CHECK(live.find(op.id()) == live.end());
+        live[op.id()] = op.box();
         ++mutations;
-      } else if (op.kind == OpKind::kErase) {
-        CHECK(live.find(op.id) != live.end());
-        live.erase(op.id);
+      } else if (op.kind() == OpKind::kErase) {
+        CHECK(live.find(op.id()) != live.end());
+        live.erase(op.id());
         ++mutations;
       }
     }
@@ -457,29 +457,32 @@ void TestConcurrentReadWriteStreamsReachSequentialState() {
         CountSink count_sink;
         std::size_t ok = 0;
         for (const Op3& op : stream) {
-          switch (op.kind) {
+          switch (op.kind()) {
             case OpKind::kInsert:
-              ok += index->Insert(op.id, op.box) ? 1 : 0;
+              ok += index->Insert(op.id(), op.box()) ? 1 : 0;
               break;
             case OpKind::kErase:
-              ok += index->Erase(op.id) ? 1 : 0;
+              ok += index->Erase(op.id()) ? 1 : 0;
               break;
             case OpKind::kQuery:
-              if (op.query.type() == quasii::QueryType::kCount) {
+              if (op.query().type() == quasii::QueryType::kCount) {
                 count_sink.Reset();
-                index->Execute(op.query, count_sink);
+                index->Execute(op.query(), count_sink);
               } else {
                 ids.clear();
-                index->Execute(op.query, vector_sink);
+                index->Execute(op.query(), vector_sink);
               }
               break;
             case OpKind::kJoin: {
               // This spec emits no join ops (no join source), but the
               // switch stays exhaustive for when one does.
               quasii::CountPairSink pair_sink;
-              index->Execute(quasii::JoinQuery<3>(op.join_stream), pair_sink);
+              index->Execute(quasii::JoinQuery<3>(op.join_stream()),
+                             pair_sink);
               break;
             }
+            default:
+              break;  // admin request kinds never appear in op streams
           }
         }
         accepted.fetch_add(ok);

@@ -426,9 +426,15 @@ void TestQuasiiPackedEndToEnd() {
   // (they are derived state, not serialized) and replaying queries cracks
   // nothing.
   std::string blob;
-  CHECK(index.SaveStructure(&blob));
+  quasii::ByteWriter blob_writer(&blob);
+  CHECK(index.SerializeStructure(blob_writer));
+  // The deprecated string-based shims must stay byte-identical to the
+  // ByteWriter/string_view API for their one-release grace period.
+  std::string shim_blob;
+  CHECK(index.SaveStructure(&shim_blob));
+  CHECK(shim_blob == blob);
   QuasiiIndex<3> restored(data);
-  CHECK(restored.LoadStructure(blob));
+  CHECK(restored.DeserializeStructure(blob));
   const auto rmem = restored.column_memory();
   CHECK_EQ(rmem.packed_leaves, mem.packed_leaves);
   CHECK_EQ(rmem.packed_rows, mem.packed_rows);

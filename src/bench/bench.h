@@ -556,7 +556,7 @@ inline std::string RunBenchmark(const BenchConfig& config,
   JsonWriter w;
   w.BeginObject();
   const bool durable = config.durability.enabled() && error != nullptr;
-  w.Key("schema").String("quasii-bench-v8");
+  w.Key("schema").String("quasii-bench-v9");
   w.Key("config").BeginObject();
   w.Key("dataset").String(config.dataset);
   w.Key("workload").String(config.workload);
@@ -569,6 +569,7 @@ inline std::string RunBenchmark(const BenchConfig& config,
   w.Key("knn_k").Uint(config.knn_k);
   w.Key("threads").Uint(static_cast<std::uint64_t>(
       threaded ? config.threads : 1));
+  w.Key("exec_threads").Uint(static_cast<std::uint64_t>(IntraQueryThreads()));
   w.EndObject();
 
   w.Key("results").BeginArray();

@@ -14,11 +14,14 @@
 #include "bench/bench.h"
 #include "bench/json.h"
 #include "bench/workload.h"
+#include "common/bytes.h"
 #include "common/dataset.h"
 #include "common/executor.h"
 #include "common/query.h"
+#include "common/request.h"
 #include "common/simd.h"
 #include "common/spatial_index.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "geometry/box.h"
 #include "quasii/quasii_index.h"
@@ -63,7 +66,13 @@ namespace quasii::bench {
 /// reruns of the converged read stream comparing the scalar vs native SIMD
 /// tier (raw columns) and raw vs packed columns (native tier), with
 /// checksum/counter equality verdicts — the measurement behind the explicit
-/// SIMD kernel layer's acceptance bar.
+/// SIMD kernel layer's acceptance bar. Schema v9 (v8 is skipped so the
+/// microbench and bench driver schemas stay aligned) adds the "parallel"
+/// entry to the `ab` block — cold-start first-query cost at 1 vs 8
+/// intra-query exec threads over fresh indexes, with checksum/counter
+/// equality plus a `content_match` verdict that the parallel run produced
+/// the bit-identical physical crack structure — and records the
+/// `exec_threads` / `grain` morsel-execution options.
 struct MicrobenchOptions {
   int min_exp = 17;
   int max_exp = 20;
@@ -168,15 +177,23 @@ struct RecoveryPoint {
 /// mode verifies that results (stream checksum) and work counters are
 /// bit-identical across modes — the kernels must differ in speed only.
 struct AbResult {
-  std::string name;    // "simd" or "packed"
-  std::string mode_a;  // e.g. "scalar" / "raw"
-  std::string mode_b;  // e.g. "avx2" / "packed"
+  std::string name;    // "simd", "packed", or "parallel"
+  std::string mode_a;  // e.g. "scalar" / "raw" / "threads=1"
+  std::string mode_b;  // e.g. "avx2" / "packed" / "threads=8"
   double a_median_ms = 0;
   double b_median_ms = 0;
   double speedup = 0;  // a_median / b_median: how much faster B runs
   int rounds = 0;      // timed passes per mode
+  int a_threads = 0;   // intra-query exec threads per mode ("parallel" only)
+  int b_threads = 0;
   bool checksum_match = false;
   bool counters_match = false;
+  /// Physical-structure verdict: a digest of the index's serialized
+  /// structure (crack columns, slice boundaries) agrees across modes. The
+  /// simd/packed comparisons run on one already-converged index, so there
+  /// it holds by construction; the "parallel" comparison cracks two fresh
+  /// indexes and must reproduce the *same physical layout* either way.
+  bool content_match = true;
 };
 
 /// One timed pass of the workload's range queries (results accumulated, not
@@ -302,6 +319,100 @@ inline AbResult MeasureAb(QuasiiIndex<3>* index, const std::vector<Op3>& ops,
   r.counters_match = stats_a.objects_tested == stats_b.objects_tested &&
                      stats_a.partitions_visited == stats_b.partitions_visited &&
                      stats_a.cracks == 0 && stats_b.cracks == 0;
+  r.a_median_ms = MedianOf(a_ms);
+  r.b_median_ms = MedianOf(b_ms);
+  r.speedup = r.b_median_ms > 0 ? r.a_median_ms / r.b_median_ms : 0;
+  return r;
+}
+
+/// Cold-start first-query cost: a fresh QUASII index over `data`, then the
+/// stream's first range query executed once — the §6.2 index-building spike
+/// the morsel-parallel cracking path attacks. Returns 0 when the stream has
+/// no range query.
+inline double TimeColdFirstQuery(const Dataset3& data,
+                                 const std::vector<Op3>& ops) {
+  const Op3* first = nullptr;
+  for (const Op3& op : ops) {
+    if (op.kind() == OpKind::kQuery &&
+        op.query().type() == QueryType::kRange) {
+      first = &op;
+      break;
+    }
+  }
+  if (first == nullptr) return 0;
+  QuasiiIndex<3> index(data);
+  index.Build();
+  std::vector<ObjectId> ids;
+  VectorSink sink(&ids);
+  Timer t;
+  index.Execute(first->query(), sink);
+  return t.Millis();
+}
+
+/// Full-stream verification state for one intra-query thread count: a fresh
+/// index cracked by the whole workload, digested three ways.
+struct ParallelVerify {
+  std::uint64_t checksum = 0;   // post-workload range-query checksum
+  std::uint64_t structure = 0;  // FNV over the serialized crack structure
+  QueryStats stats;             // cumulative work counters
+};
+
+inline ParallelVerify RunParallelVerify(const Dataset3& data,
+                                        const std::vector<Op3>& ops) {
+  QuasiiIndex<3> index(data);
+  index.Build();
+  index.ResetStats();
+  ParallelVerify v;
+  std::uint64_t queries = 0;
+  v.checksum = RangeQueryChecksum(&index, ops, &queries);
+  v.stats = index.stats();
+  std::string blob;
+  ByteWriter w(&blob);
+  if (index.SerializeStructure(w)) {
+    v.structure = FnvBytes(kFnvBasis, blob);
+  }
+  return v;
+}
+
+/// The intra-query parallelism A/B: cold-start first-query time at 1 vs 8
+/// exec threads, interleaved pass-by-pass over fresh indexes, plus a full
+/// verification workload per mode. Parallel cracking must be *scheduling
+/// only*: identical result checksums, identical crack/objects_tested/
+/// objects_moved counters, and a bit-identical physical structure (the
+/// serialized crack columns + slice boundaries). A `QUASII_EXEC_THREADS`
+/// env cap may clamp the parallel arm back to 1 thread (the force-serial
+/// CI job); the equality verdicts must hold regardless, the speedup only
+/// means anything when `b_threads` really exceeds 1 and cores exist.
+inline AbResult MeasureParallelAb(const Dataset3& data,
+                                  const std::vector<Op3>& ops,
+                                  std::uint64_t expected_checksum) {
+  AbResult r;
+  r.name = "parallel";
+  r.rounds = kAbRounds;
+  const int restore = IntraQueryThreads();
+  r.a_threads = 1;
+  r.b_threads = SetIntraQueryThreads(8);  // env cap may clamp below 8
+  r.mode_a = "threads=" + std::to_string(r.a_threads);
+  r.mode_b = "threads=" + std::to_string(r.b_threads);
+  std::vector<double> a_ms;
+  std::vector<double> b_ms;
+  for (int i = 0; i < kAbRounds; ++i) {
+    SetIntraQueryThreads(r.a_threads);
+    a_ms.push_back(TimeColdFirstQuery(data, ops));
+    SetIntraQueryThreads(r.b_threads);
+    b_ms.push_back(TimeColdFirstQuery(data, ops));
+  }
+  SetIntraQueryThreads(r.a_threads);
+  const ParallelVerify va = RunParallelVerify(data, ops);
+  SetIntraQueryThreads(r.b_threads);
+  const ParallelVerify vb = RunParallelVerify(data, ops);
+  SetIntraQueryThreads(restore);
+  r.checksum_match =
+      va.checksum == expected_checksum && vb.checksum == expected_checksum;
+  r.counters_match = va.stats.cracks == vb.stats.cracks &&
+                     va.stats.objects_tested == vb.stats.objects_tested &&
+                     va.stats.objects_moved == vb.stats.objects_moved;
+  r.content_match = va.structure == vb.structure && va.structure != 0;
   r.a_median_ms = MedianOf(a_ms);
   r.b_median_ms = MedianOf(b_ms);
   r.speedup = r.b_median_ms > 0 ? r.a_median_ms / r.b_median_ms : 0;
@@ -520,8 +631,13 @@ inline void WriteMicroRun(
       w->Key("b_median_ms").Double(r.b_median_ms);
       w->Key("speedup").Double(r.speedup);
       w->Key("rounds").Uint(static_cast<std::uint64_t>(r.rounds));
+      if (r.a_threads > 0) {
+        w->Key("a_threads").Uint(static_cast<std::uint64_t>(r.a_threads));
+        w->Key("b_threads").Uint(static_cast<std::uint64_t>(r.b_threads));
+      }
       w->Key("checksum_match").Bool(r.checksum_match);
       w->Key("counters_match").Bool(r.counters_match);
+      w->Key("content_match").Bool(r.content_match);
       w->EndObject();
     }
     w->EndObject();
@@ -536,7 +652,7 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("quasii-microbench-v7");
+  w.Key("schema").String("quasii-microbench-v9");
   w.Key("options").BeginObject();
   w.Key("min_exp").Int(options.min_exp);
   w.Key("max_exp").Int(options.max_exp);
@@ -544,6 +660,8 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
   w.Key("seed").Uint(options.seed);
   w.Key("simd_tier").String(simd::TierName(simd::ActiveTier()));
   w.Key("packing_enabled").Bool(QuasiiIndex<3>::PackingEnabled());
+  w.Key("exec_threads").Int(IntraQueryThreads());
+  w.Key("grain").Uint(static_cast<std::uint64_t>(MorselGrain()));
   w.EndObject();
 
   w.Key("configs").BeginArray();
@@ -636,6 +754,12 @@ inline std::string RunMicrobench(const MicrobenchOptions& options) {
               "packed", [q] { q->set_packed_scan_enabled(true); }));
           simd::ForceTier(native);
           q->set_packed_scan_enabled(true);
+          // Third comparison, and the only one that re-cracks: cold-start
+          // first-query cost at 1 vs 8 intra-query exec threads, over
+          // fresh indexes each round. Parallel cracking must reproduce the
+          // serial run bit-for-bit (results, counters, physical layout).
+          ab.push_back(
+              MeasureParallelAb(data, ops, run.post_workload.checksum));
         }
         WriteMicroRun(&w, run, scaling.empty() ? nullptr : &scaling,
                       have_recovery ? &recovery : nullptr,

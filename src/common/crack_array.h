@@ -16,6 +16,7 @@
 #include "common/packed_column.h"
 #include "common/query.h"
 #include "common/simd.h"
+#include "common/task_scheduler.h"
 #include "geometry/box.h"
 
 namespace quasii {
@@ -139,6 +140,126 @@ std::size_t CrackPartition(const Key* keys, std::size_t begin, std::size_t end,
     --hi;
   }
   return lo;
+}
+
+namespace internal {
+
+/// Ranges at least this long partition via `ChunkedCrackPartition` — chosen
+/// so every committed CI-sized run (n ≤ 2^14) stays on the classic
+/// single-pass `CrackPartition` and its baseline counters are untouched.
+inline constexpr std::size_t kChunkedPartitionMin = std::size_t{1} << 16;
+
+/// Bounds the chunk count so the fixup bookkeeping (one split offset and at
+/// most two misplaced runs per chunk) stays a few KB however large the
+/// range.
+inline constexpr std::size_t kMaxPartitionChunks = 256;
+
+/// A contiguous run of rows, for the fixup phase's misplaced-element lists.
+struct PartitionRun {
+  std::size_t pos = 0;
+  std::size_t len = 0;
+};
+
+/// Maps `rank` to its absolute row position within the concatenation of
+/// `runs` (`prefix[i]` = total length of runs before `i`).
+inline std::size_t RunPosition(const std::vector<PartitionRun>& runs,
+                               const std::vector<std::size_t>& prefix,
+                               std::size_t rank) {
+  const auto it = std::upper_bound(prefix.begin(), prefix.end(), rank) - 1;
+  const std::size_t r = static_cast<std::size_t>(it - prefix.begin());
+  return runs[r].pos + (rank - prefix[r]);
+}
+
+}  // namespace internal
+
+/// Parallelizable partition of `keys[begin, end)` with the same contract as
+/// `CrackPartition`, as a classic two-phase parallel partition:
+///
+///  1. **Block partition** — the range is cut into contiguous chunks whose
+///     count and boundaries are a pure function of the range length and the
+///     morsel grain (never the worker count), and each chunk is partitioned
+///     independently with `CrackPartition` (disjoint rows, so concurrent
+///     `swap_rows` callbacks never touch the same row or id).
+///  2. **Bounded swap fixup** — with the global split `S` known from the
+///     per-chunk splits, the misplaced elements form at most one run per
+///     chunk on each side of `S` (pred-false runs before `S`, pred-true
+///     runs after). Their counts are equal by construction, and pairing the
+///     k-th misplaced-false row with the k-th misplaced-true row yields a
+///     set of disjoint swaps executed morsel-parallel.
+///
+/// The resulting layout depends only on the input, the range, and the
+/// grain — NOT on how many workers executed the morsels — so serial
+/// (zero-worker) and 8-thread executions produce bit-identical columns,
+/// which is what keeps crack counters and median-split pivots identical
+/// across thread counts. Note the layout intentionally DIFFERS from what a
+/// single `CrackPartition` pass would produce; callers select between the
+/// two by range length alone so every execution mode agrees on which
+/// algorithm ran.
+template <typename Key, typename Pred, typename SwapRows>
+std::size_t ChunkedCrackPartition(const Key* keys, std::size_t begin,
+                                  std::size_t end, Pred pred,
+                                  SwapRows swap_rows, TaskScheduler* exec) {
+  const std::size_t len = end - begin;
+  const std::size_t chunk =
+      std::max(MorselGrain(), (len + internal::kMaxPartitionChunks - 1) /
+                                  internal::kMaxPartitionChunks);
+  const std::size_t nchunks = (len + chunk - 1) / chunk;
+  if (nchunks < 2) return CrackPartition(keys, begin, end, pred, swap_rows);
+
+  // Phase 1: chunk-local partitions (parallel over chunks, disjoint rows).
+  std::vector<std::size_t> split(nchunks);
+  ParallelFor(exec, 0, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t k = cb; k < ce; ++k) {
+      const std::size_t b = begin + k * chunk;
+      const std::size_t e = std::min(b + chunk, end);
+      split[k] = CrackPartition(keys, b, e, pred, swap_rows);
+    }
+  });
+
+  // Global split: total pred-true count across chunks.
+  std::size_t s = begin;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    s += split[k] - (begin + k * chunk);
+  }
+
+  // Phase 2: misplaced runs. Before `s` the offenders are each chunk's
+  // false suffix `[split_k, chunk_end)` clipped to `< s`; after `s` each
+  // chunk's true prefix `[chunk_begin, split_k)` clipped to `>= s`.
+  std::vector<internal::PartitionRun> false_runs;
+  std::vector<internal::PartitionRun> true_runs;
+  std::vector<std::size_t> false_prefix;
+  std::vector<std::size_t> true_prefix;
+  std::size_t false_total = 0;
+  std::size_t true_total = 0;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    const std::size_t b = begin + k * chunk;
+    const std::size_t e = std::min(b + chunk, end);
+    const std::size_t fb = split[k];
+    const std::size_t fe = std::min(e, s);
+    if (fb < fe) {
+      false_runs.push_back({fb, fe - fb});
+      false_prefix.push_back(false_total);
+      false_total += fe - fb;
+    }
+    const std::size_t tb = std::max(b, s);
+    const std::size_t te = split[k];
+    if (tb < te) {
+      true_runs.push_back({tb, te - tb});
+      true_prefix.push_back(true_total);
+      true_total += te - tb;
+    }
+  }
+  // Counts agree by the counting argument above; the swaps are disjoint
+  // (each rank names one row left of `s` and one right of it).
+  ParallelFor(exec, 0, false_total, MorselGrain(),
+              [&](std::size_t rb, std::size_t re) {
+                for (std::size_t r = rb; r < re; ++r) {
+                  swap_rows(internal::RunPosition(false_runs, false_prefix, r),
+                            internal::RunPosition(true_runs, true_prefix, r));
+                }
+              });
+  (void)true_total;
+  return s;
 }
 
 /// Structure-of-arrays storage for an incrementally reorganized spatial
@@ -418,9 +539,13 @@ class CrackArray {
   /// live prefix and parks the dead suffix where no scan visits it, so a
   /// refinement compacts erased objects out of the hot range in passing.
   std::size_t PartitionLiveFirst(std::size_t begin, std::size_t end) {
-    return CrackPartition(
-        live_.data(), begin, end, [](std::uint8_t v) { return v != 0; },
-        [this](std::size_t i, std::size_t j) { SwapRows(i, j); });
+    const auto pred = [](std::uint8_t v) { return v != 0; };
+    const auto swap = [this](std::size_t i, std::size_t j) { SwapRows(i, j); };
+    if (end - begin >= internal::kChunkedPartitionMin) {
+      return ChunkedCrackPartition(live_.data(), begin, end, pred, swap,
+                                   &IntraQueryScheduler());
+    }
+    return CrackPartition(live_.data(), begin, end, pred, swap);
   }
 
   struct SplitResult {
@@ -456,19 +581,20 @@ class CrackArray {
       r.frozen = true;
       return r;
     }
-    scratch_.clear();
+    std::vector<Scalar>& scratch = MedianScratchTLS();
+    scratch.clear();
     if (len <= 2 * kMedianSample) {
-      scratch_.assign(col.begin() + static_cast<std::ptrdiff_t>(begin),
-                      col.begin() + static_cast<std::ptrdiff_t>(end));
+      scratch.assign(col.begin() + static_cast<std::ptrdiff_t>(begin),
+                     col.begin() + static_cast<std::ptrdiff_t>(end));
     } else {
       const std::size_t stride = len / kMedianSample;
       for (std::size_t i = begin; i < end; i += stride) {
-        scratch_.push_back(col[i]);
+        scratch.push_back(col[i]);
       }
     }
     const auto nth =
-        scratch_.begin() + static_cast<std::ptrdiff_t>(scratch_.size() / 2);
-    std::nth_element(scratch_.begin(), nth, scratch_.end());
+        scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2);
+    std::nth_element(scratch.begin(), nth, scratch.end());
     const Scalar pivot = *nth;
 
     SplitResult r;
@@ -584,11 +710,19 @@ class CrackArray {
   }
 
  private:
+  /// Algorithm selection is by range length ALONE (never thread count):
+  /// long ranges always take the chunked partition, short ones always the
+  /// single pass, so a serial and an 8-thread execution of the same query
+  /// stream walk through identical physical layouts.
   template <typename Pred>
   std::size_t Partition(std::size_t begin, std::size_t end, int d, Pred pred) {
-    return CrackPartition(
-        keys_[static_cast<std::size_t>(d)].data(), begin, end, pred,
-        [this](std::size_t i, std::size_t j) { SwapRows(i, j); });
+    const Scalar* keys = keys_[static_cast<std::size_t>(d)].data();
+    const auto swap = [this](std::size_t i, std::size_t j) { SwapRows(i, j); };
+    if (end - begin >= internal::kChunkedPartitionMin) {
+      return ChunkedCrackPartition(keys, begin, end, pred, swap,
+                                   &IntraQueryScheduler());
+    }
+    return CrackPartition(keys, begin, end, pred, swap);
   }
 
   void SwapRows(std::size_t i, std::size_t j) {
@@ -619,9 +753,15 @@ class CrackArray {
   std::size_t tombstones_ = 0;
   /// Rows `[pending_begin_, size())` are the unsorted appended tail.
   std::size_t pending_begin_ = 0;
-  /// Reused by `MedianSplit` so pivot selection never reallocates (the
-  /// write path — always under the owner's exclusive lock).
-  std::vector<Scalar> scratch_;
+
+  /// Pivot-selection scratch, thread-local because `MedianSplit` runs
+  /// concurrently on disjoint ranges under the parallel split worklist (a
+  /// shared member would race even though the owning index holds its
+  /// exclusive lock — the workers all belong to one query).
+  static std::vector<Scalar>& MedianScratchTLS() {
+    static thread_local std::vector<Scalar> scratch;
+    return scratch;
+  }
 };
 
 }  // namespace quasii

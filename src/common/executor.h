@@ -15,13 +15,16 @@
 #include "common/query.h"
 #include "common/query_stats.h"
 #include "common/spatial_index.h"
+#include "common/task_scheduler.h"
 
 namespace quasii {
 
-/// Fixed-size thread pool — the one concurrency entry point of the
-/// execution layer. Deliberately minimal: a single FIFO queue, no work
-/// stealing, no dynamic sizing, so the thread ↔ work assignment of a
-/// deterministic submission order is itself deterministic.
+/// Fixed-size thread pool — the inter-query concurrency entry point of the
+/// execution layer (its intra-query sibling, the work-stealing
+/// `TaskScheduler`, lives in common/task_scheduler.h). Deliberately
+/// minimal: a single FIFO queue, no work stealing, no dynamic sizing, so
+/// the thread ↔ work assignment of a deterministic submission order is
+/// itself deterministic.
 ///
 /// Every worker binds a distinct stats slot (1 .. size; slot 0 stays with
 /// the caller thread), so tasks may drive `SpatialIndex::Execute`

@@ -146,20 +146,6 @@ class SpatialIndex {
     return false;
   }
 
-  /// Deprecated: thin shim over `SerializeStructure` kept for one release
-  /// so out-of-tree callers keep compiling; prefer the `ByteWriter`-based
-  /// API, which composes with the other `bytes.h` codecs.
-  bool SaveStructure(std::string* out) const {
-    ByteWriter w(out);
-    return SerializeStructure(w);
-  }
-
-  /// Deprecated: thin shim over `DeserializeStructure` kept for one
-  /// release; prefer the `std::string_view`-based API.
-  bool LoadStructure(const std::string& bytes) {
-    return DeserializeStructure(std::string_view(bytes));
-  }
-
   /// Store-only restore path: re-derives the structure from the restored
   /// store. Static indexes rebuild eagerly; lazily-initialized ones reset
   /// so their next query re-reads the store. Not thread-safe.

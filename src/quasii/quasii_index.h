@@ -19,7 +19,9 @@
 #include "common/packed_column.h"
 #include "common/dataset.h"
 #include "common/query.h"
+#include "common/query_stats.h"
 #include "common/spatial_index.h"
+#include "common/task_scheduler.h"
 #include "geometry/box.h"
 
 namespace quasii {
@@ -330,8 +332,11 @@ class QuasiiIndex final : public SpatialIndex<D> {
                                  std::numeric_limits<Scalar>::infinity());
     }
     MatchEmitter emit(count_only, &sink);
-    const BoxExec ctx{&q, predicate, &emit};
+    TaskScheduler& exec = IntraQueryScheduler();
+    std::vector<LeafScanJob> jobs;
+    const BoxExec ctx{&q, predicate, &emit, exec.parallel() ? &jobs : nullptr};
     Visit(&root_, ctx, ext, 0u);
+    if (!jobs.empty()) RunLeafScans(jobs, ctx, &exec);
     emit.Flush();
   }
 
@@ -367,12 +372,29 @@ class QuasiiIndex final : public SpatialIndex<D> {
   }
 
  private:
+  /// One leaf scan deferred for morsel-parallel execution. Captured BY
+  /// VALUE during the descent — `Slice` pointers dangle the moment a later
+  /// refinement rebuilds a slice list, but the row range of a processed
+  /// leaf never moves within one query (subsequent refinements reorganize
+  /// only other, disjoint ranges), so (begin, end, covered) plus a shared
+  /// handle on the packed columns is all a scan needs.
+  struct LeafScanJob {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    unsigned covered = 0;
+    std::shared_ptr<const PackedLeaf<D>> packed;
+  };
+
   /// Box-execution context (see `SpatialIndex::ExecuteBox` for the shared
-  /// contract); threaded through the recursive slice descent.
+  /// contract); threaded through the recursive slice descent. When `jobs`
+  /// is non-null (intra-query workers available), leaf scans are recorded
+  /// there in visit order instead of executing inline, and run after the
+  /// descent completes.
   struct BoxExec {
     const Box<D>* q;
     RangePredicate predicate;
     MatchEmitter* emit;
+    std::vector<LeafScanJob>* jobs = nullptr;
   };
 
   /// Adapts a partner-slice `StreamScan` into join pairs: every id the scan
@@ -389,6 +411,25 @@ class QuasiiIndex final : public SpatialIndex<D> {
 
    private:
     JoinEmitter* emit_;
+    ObjectId left_ = 0;
+  };
+
+  /// `LeftFixedSink`'s task-local twin: collects (left, id) pairs into a
+  /// plain buffer instead of an emitter, so parallel leaf-pair walks stay
+  /// off the shared `JoinEmitter` until their deterministic merge.
+  class PairListSink final : public Sink {
+   public:
+    explicit PairListSink(std::vector<std::pair<ObjectId, ObjectId>>* out)
+        : out_(out) {}
+    void set_left(ObjectId left) { left_ = left; }
+    void Emit(ObjectId id) override { out_->emplace_back(left_, id); }
+    void EmitRun(const ObjectId* ids, std::size_t n) override {
+      for (std::size_t i = 0; i < n; ++i) out_->emplace_back(left_, ids[i]);
+    }
+    void AddMatches(std::uint64_t) override {}
+
+   private:
+    std::vector<std::pair<ObjectId, ObjectId>>* out_;
     ObjectId left_ = 0;
   };
 
@@ -758,26 +799,49 @@ class QuasiiIndex final : public SpatialIndex<D> {
   }
 
   /// Halves a slice at its median key until every piece is at most the level
-  /// threshold, iteratively via a reusable worklist (left-to-right emission
-  /// order, no recursion). A run of identical keys that cannot be halved is
-  /// frozen and accepted oversized (it can still be sliced in later
-  /// dimensions).
+  /// threshold. Serial executions run the iterative worklist; with intra-
+  /// query workers, large slices fan out as a recursive task tree whose two
+  /// halves split concurrently (disjoint row ranges, so the median splits
+  /// never touch the same rows). Which splits happen — and therefore the
+  /// crack counters and the physical layout — depends only on the data, not
+  /// on the worker count: both paths perform the identical split sequence,
+  /// the parallel one merely re-orders the wall-clock and buffers the right
+  /// half so pieces still emit in left-to-right order. A run of identical
+  /// keys that cannot be halved is frozen and accepted oversized (it can
+  /// still be sliced in later dimensions).
   void SplitToThreshold(Slice s, std::vector<Slice>* out) {
     if (s.size() == 0) return;
+    TaskScheduler& exec = IntraQueryScheduler();
+    if (exec.parallel() && s.size() >= kParallelSplitMin) {
+      QueryStats local;
+      SplitRecursive(std::move(s), out, &local, &exec);
+      this->Stats().cracks += local.cracks;
+      this->Stats().objects_moved += local.objects_moved;
+      return;
+    }
+    SplitIterative(std::move(s), out, &this->Stats(), &split_stack_);
+  }
+
+  /// The classic worklist form (left-to-right emission, no recursion).
+  /// Counters land in `st` so parallel tasks can accumulate task-locally
+  /// and merge into the caller's shard afterwards; `stack` is caller-owned
+  /// because the member worklist cannot be shared across concurrent tasks.
+  void SplitIterative(Slice s, std::vector<Slice>* out, QueryStats* st,
+                      std::vector<Slice>* stack) {
     const int d = s.level;
     const std::size_t limit = threshold_[static_cast<std::size_t>(d)];
-    split_stack_.clear();
-    split_stack_.push_back(std::move(s));
-    while (!split_stack_.empty()) {
-      Slice t = std::move(split_stack_.back());
-      split_stack_.pop_back();
+    stack->clear();
+    stack->push_back(std::move(s));
+    while (!stack->empty()) {
+      Slice t = std::move(stack->back());
+      stack->pop_back();
       if (t.size() <= limit) {
         out->push_back(std::move(t));
         continue;
       }
       const auto split = array_.MedianSplit(t.begin, t.end, d);
-      ++this->Stats().cracks;
-      this->Stats().objects_moved += t.size();
+      ++st->cracks;
+      st->objects_moved += t.size();
       if (split.frozen) {
         t.frozen = true;
         out->push_back(std::move(t));
@@ -797,9 +861,62 @@ class QuasiiIndex final : public SpatialIndex<D> {
       rest.hi = t.hi;
       // LIFO: push the right half first so the left half is processed (and
       // emitted) before it.
-      split_stack_.push_back(std::move(rest));
-      split_stack_.push_back(std::move(left));
+      stack->push_back(std::move(rest));
+      stack->push_back(std::move(left));
     }
+  }
+
+  /// Task-tree form: splits at the median, forks the right half onto the
+  /// scheduler, recurses into the left inline, then appends the right
+  /// half's buffered pieces — so the emitted order equals the iterative
+  /// worklist's. Small subranges drop back to `SplitIterative` with a local
+  /// stack, bounding the recursion depth at log2(n / kParallelSplitMin).
+  void SplitRecursive(Slice t, std::vector<Slice>* out, QueryStats* st,
+                      TaskScheduler* exec) {
+    const int d = t.level;
+    const std::size_t limit = threshold_[static_cast<std::size_t>(d)];
+    if (t.size() <= limit) {
+      out->push_back(std::move(t));
+      return;
+    }
+    if (t.size() < kParallelSplitMin) {
+      std::vector<Slice> stack;
+      SplitIterative(std::move(t), out, st, &stack);
+      return;
+    }
+    const auto split = array_.MedianSplit(t.begin, t.end, d);
+    ++st->cracks;
+    st->objects_moved += t.size();
+    if (split.frozen) {
+      t.frozen = true;
+      out->push_back(std::move(t));
+      return;
+    }
+    Slice left;
+    left.level = d;
+    left.begin = t.begin;
+    left.end = split.pos;
+    left.lo = t.lo;
+    left.hi = split.bound;
+    Slice rest;
+    rest.level = d;
+    rest.begin = split.pos;
+    rest.end = t.end;
+    rest.lo = split.bound;
+    rest.hi = t.hi;
+    std::vector<Slice> right_out;
+    QueryStats right_stats;
+    {
+      TaskScheduler::Group g(exec);
+      g.Run([this, rest, &right_out, &right_stats, exec]() mutable {
+        SplitRecursive(std::move(rest), &right_out, &right_stats, exec);
+      });
+      SplitRecursive(std::move(left), out, st, exec);
+      g.Wait();
+    }
+    st->cracks += right_stats.cracks;
+    st->objects_moved += right_stats.objects_moved;
+    for (Slice& piece : right_out) out->push_back(std::move(piece));
   }
 
   /// Walks one level's slice list: skips slices outside the query, refines
@@ -857,6 +974,12 @@ class QuasiiIndex final : public SpatialIndex<D> {
     ++this->Stats().partitions_visited;
     if (d == D - 1) {
       this->Stats().objects_tested += s->size();
+      if (ctx.jobs != nullptr) {
+        ctx.jobs->push_back(LeafScanJob{
+            s->begin, s->end, covered,
+            packed_scan_enabled_ ? s->packed : nullptr});
+        return;
+      }
       this->Stats().bytes_scanned += array_.StreamScan(
           s->begin, s->end, *ctx.q, ctx.predicate, covered, ctx.emit,
           packed_scan_enabled_ ? s->packed.get() : nullptr);
@@ -864,6 +987,73 @@ class QuasiiIndex final : public SpatialIndex<D> {
     }
     EnsureChild(s);
     Visit(&s->children, ctx, ext, covered);
+  }
+
+  /// Executes the deferred leaf scans morsel-parallel: consecutive jobs are
+  /// batched until a batch holds at least a grain of rows, every batch runs
+  /// the normal `StreamScan` kernels into its own per-job buffer on some
+  /// worker, and the buffers drain into the query's emitter in CAPTURE
+  /// (= visit) order — so the sink observes the byte-identical id stream a
+  /// serial execution produces, and count-only runs the identical total.
+  /// Byte counters accumulate per job and merge into the caller's shard
+  /// here; the tasks never touch index stats.
+  void RunLeafScans(const std::vector<LeafScanJob>& jobs, const BoxExec& ctx,
+                    TaskScheduler* exec) {
+    struct JobOut {
+      std::vector<ObjectId> ids;
+      std::uint64_t count = 0;
+      std::uint64_t bytes = 0;
+    };
+    std::vector<JobOut> results(jobs.size());
+    const bool count_only = ctx.emit->count_only();
+    std::vector<std::size_t> starts;
+    starts.push_back(0);
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      rows += jobs[i].end - jobs[i].begin;
+      if (rows >= MorselGrain() && i + 1 < jobs.size()) {
+        starts.push_back(i + 1);
+        rows = 0;
+      }
+    }
+    {
+      TaskScheduler::Group g(exec);
+      for (std::size_t b = 0; b < starts.size(); ++b) {
+        const std::size_t jb = starts[b];
+        const std::size_t je =
+            b + 1 < starts.size() ? starts[b + 1] : jobs.size();
+        g.Run([this, &jobs, &results, &ctx, count_only, jb, je] {
+          for (std::size_t j = jb; j < je; ++j) {
+            const LeafScanJob& job = jobs[j];
+            JobOut& out = results[j];
+            if (count_only) {
+              CountSink cs;
+              MatchEmitter me(/*count_only=*/true, &cs);
+              out.bytes = array_.StreamScan(job.begin, job.end, *ctx.q,
+                                            ctx.predicate, job.covered, &me,
+                                            job.packed.get());
+              me.Flush();
+              out.count = cs.count();
+            } else {
+              VectorSink vs(&out.ids);
+              MatchEmitter me(/*count_only=*/false, &vs);
+              out.bytes = array_.StreamScan(job.begin, job.end, *ctx.q,
+                                            ctx.predicate, job.covered, &me,
+                                            job.packed.get());
+            }
+          }
+        });
+      }
+      g.Wait();
+    }
+    for (JobOut& out : results) {
+      if (count_only) {
+        ctx.emit->AddAnonymous(out.count);
+      } else if (!out.ids.empty()) {
+        ctx.emit->AddRun(out.ids.data(), out.ids.size());
+      }
+      this->Stats().bytes_scanned += out.bytes;
+    }
   }
 
   /// Materializes a non-leaf slice's single open child (the lazy first
@@ -976,6 +1166,28 @@ class QuasiiIndex final : public SpatialIndex<D> {
         RefineForJoin(mine, iv.first - h, iv.second + h);
       }
     }
+    // Leaf level with intra-query workers: the remaining work is pure
+    // scanning over stable slice lists, so collect the overlapping pairs
+    // and fan them out. Inner levels keep the serial walk — their loop
+    // bodies mutate (EnsureChild, the recursive refinement).
+    if (d == D - 1 && IntraQueryScheduler().parallel()) {
+      std::vector<std::pair<const Slice*, const Slice*>> pairs;
+      for (std::size_t i = 0; i < mine->size(); ++i) {
+        const Slice& sa = (*mine)[i];
+        if (sa.size() == 0) continue;
+        for (std::size_t j = same_list ? i : 0; j < theirs->size(); ++j) {
+          const Slice& sb = (*theirs)[j];
+          if (sb.size() == 0) continue;
+          if (!(sa.hi > sb.lo - h && sb.hi > sa.lo - h)) continue;
+          ++this->Stats().partitions_visited;
+          pairs.emplace_back(&sa, &sb);
+        }
+      }
+      if (!pairs.empty()) {
+        ParallelLeafJoin(other, pairs, emit, &IntraQueryScheduler());
+      }
+      return;
+    }
     for (std::size_t i = 0; i < mine->size(); ++i) {
       Slice& sa = (*mine)[i];
       if (sa.size() == 0) continue;
@@ -998,24 +1210,93 @@ class QuasiiIndex final : public SpatialIndex<D> {
   /// Scans one leaf-slice pair: each live row of this side's slice streams
   /// through the partner slice's bound columns (`StreamScan` is the exact
   /// box-intersection filter and skips the partner's tombstones itself).
-  void LeafJoin(QuasiiIndex<D>* other, const Slice& sa, const Slice& sb,
-                JoinEmitter& emit) {
-    LeftFixedSink sink(&emit);
-    MatchEmitter me(/*count_only=*/false, &sink);
+  /// `sink` is either the emitter-backed `LeftFixedSink` (serial path) or a
+  /// per-task `PairListSink` (parallel path); counters land in `st` so
+  /// tasks accumulate locally.
+  template <typename ProbeSink>
+  void LeafJoinScan(QuasiiIndex<D>* other, const Slice& sa, const Slice& sb,
+                    ProbeSink* sink, QueryStats* st) {
+    MatchEmitter me(/*count_only=*/false, sink);
     for (std::size_t r = sa.begin; r < sa.end; ++r) {
       if (!array_.live(r)) continue;
-      sink.set_left(array_.id(r));
-      this->Stats().objects_tested += sb.size();
+      sink->set_left(array_.id(r));
+      st->objects_tested += sb.size();
       const Box<D> probe = array_.box(r);
-      this->Stats().bytes_scanned += other->array_.StreamScan(
+      st->bytes_scanned += other->array_.StreamScan(
           sb.begin, sb.end, probe, RangePredicate::kIntersects,
           /*covered_dims=*/0u, &me,
           other->packed_scan_enabled_ ? sb.packed.get() : nullptr);
     }
   }
 
+  void LeafJoin(QuasiiIndex<D>* other, const Slice& sa, const Slice& sb,
+                JoinEmitter& emit) {
+    LeftFixedSink sink(&emit);
+    LeafJoinScan(other, sa, sb, &sink, &this->Stats());
+  }
+
+  /// Walks a batch of leaf pairs per task, each task collecting its pairs
+  /// and counters locally; the caller drains the buffers into the real
+  /// emitter in pair-capture order and merges the counters into its own
+  /// shard. Safe because at the leaf level nothing mutates: `RefineForJoin`
+  /// already ran, `LeafJoinScan` is a pure read, and the slice lists (and
+  /// so the captured `Slice*`) are stable for the duration of the walk.
+  /// Result sets are unaffected by the batching — the emitter canonicalizes
+  /// (sorts, dedups) at Flush.
+  void ParallelLeafJoin(
+      QuasiiIndex<D>* other,
+      const std::vector<std::pair<const Slice*, const Slice*>>& pairs,
+      JoinEmitter& emit, TaskScheduler* exec) {
+    struct TaskOut {
+      std::vector<std::pair<ObjectId, ObjectId>> found;
+      QueryStats stats;
+    };
+    // Batch consecutive pairs by probe work (rows scanned ≈ |a| · |b|)
+    // until a batch carries enough to amortize its dispatch.
+    std::vector<std::size_t> starts;
+    starts.push_back(0);
+    std::uint64_t work = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      work += static_cast<std::uint64_t>(pairs[i].first->size()) *
+              std::max<std::uint64_t>(1, pairs[i].second->size());
+      if (work >= kJoinBatchWork && i + 1 < pairs.size()) {
+        starts.push_back(i + 1);
+        work = 0;
+      }
+    }
+    std::vector<TaskOut> results(starts.size());
+    {
+      TaskScheduler::Group g(exec);
+      for (std::size_t b = 0; b < starts.size(); ++b) {
+        const std::size_t pb = starts[b];
+        const std::size_t pe =
+            b + 1 < starts.size() ? starts[b + 1] : pairs.size();
+        g.Run([this, other, &pairs, &results, b, pb, pe] {
+          TaskOut& out = results[b];
+          PairListSink sink(&out.found);
+          for (std::size_t k = pb; k < pe; ++k) {
+            LeafJoinScan(other, *pairs[k].first, *pairs[k].second, &sink,
+                         &out.stats);
+          }
+        });
+      }
+      g.Wait();
+    }
+    for (TaskOut& out : results) {
+      for (const auto& p : out.found) emit.Add(p.first, p.second);
+      this->Stats().objects_tested += out.stats.objects_tested;
+      this->Stats().bytes_scanned += out.stats.bytes_scanned;
+    }
+  }
+
   /// Tombstone count below which compaction is never worth an O(n) rebuild.
   static constexpr std::size_t kMinCompactTombstones = 64;
+  /// Slices below this size split via the iterative worklist even when the
+  /// scheduler has workers — a scheduling cutoff only, the split sequence
+  /// (and so layout and counters) is identical either way.
+  static constexpr std::size_t kParallelSplitMin = std::size_t{1} << 14;
+  /// Probe work (|a| · |b| row products) batched into one leaf-join task.
+  static constexpr std::uint64_t kJoinBatchWork = std::uint64_t{1} << 18;
   /// Leaves smaller than this are not packed: the per-column metadata and
   /// pad words would eat the savings, and such leaves scan in nanoseconds
   /// anyway.

@@ -36,6 +36,7 @@
 #include "bench/bench.h"
 #include "bench/cli.h"
 #include "bench/json.h"
+#include "common/task_scheduler.h"
 #include "server/client.h"
 #include "server/recorder.h"
 
@@ -63,6 +64,9 @@ struct ClientConfig {
   bool agree = false;
   std::string replay_path;
   std::string out_path;
+  int exec_threads = 1;
+  /// After the `QUASII_EXEC_THREADS` cap; set in `main`, echoed in reports.
+  int exec_threads_effective = 1;
 };
 
 void PrintUsage() {
@@ -74,6 +78,7 @@ void PrintUsage() {
                "                            join:W,insert:W,erase:W]\n"
                "                     [--knn-k=K] [--targets=I,I,...]\n"
                "                     [--agree] [--replay=FILE] [--out=PATH]\n"
+               "                     [--exec-threads=N]\n"
                "Default mode drives N concurrent clients with deterministic\n"
                "per-client op streams and reports p50/p90/p99 latency plus\n"
                "response checksums. --agree sends reads to every target and\n"
@@ -156,6 +161,12 @@ void ParseArgOrDie(const std::string& arg, ClientConfig* config) {
   } else if (flag.key == "out") {
     if (!flag.has_value || flag.value.empty()) Die(arg, "expected a path");
     config->out_path = flag.value;
+  } else if (flag.key == "exec-threads") {
+    if (!flag.has_value || !cli::ParseU64(flag.value, &u) || u == 0 ||
+        u > 256) {
+      Die(arg, "expected an integer in [1, 256]");
+    }
+    config->exec_threads = static_cast<int>(u);
   } else if (flag.key == "help") {
     PrintUsage();
     std::exit(0);
@@ -286,6 +297,7 @@ int RunAgreeMode(const ClientConfig& config,
   w->BeginObject();
   w->Key("schema").String("quasii-client-v1");
   w->Key("mode").String("agree");
+  w->Key("exec_threads").Int(config.exec_threads_effective);
   w->Key("targets").Uint(config.targets.size());
   w->Key("compared").Uint(compared);
   w->Key("mismatches").Uint(mismatches);
@@ -321,6 +333,7 @@ int RunReplayMode(const ClientConfig& config, quasii::bench::JsonWriter* w) {
   w->BeginObject();
   w->Key("schema").String("quasii-client-v1");
   w->Key("mode").String("replay");
+  w->Key("exec_threads").Int(config.exec_threads_effective);
   w->Key("requests").Uint(run.ops);
   w->Key("ok").Uint(run.ok);
   w->Key("truncated_tail").Bool(log.truncated_tail);
@@ -366,6 +379,7 @@ int RunWorkloadMode(const ClientConfig& config,
   w->BeginObject();
   w->Key("schema").String("quasii-client-v1");
   w->Key("mode").String("workload");
+  w->Key("exec_threads").Int(config.exec_threads_effective);
   w->Key("clients").Uint(runs.size());
   w->Key("per_client").BeginArray();
   for (const ClientRun& run : runs) {
@@ -412,6 +426,11 @@ int main(int argc, char** argv) {
                  "quasii_client: --agree and --replay are exclusive\n");
     return 2;
   }
+  // The client executes no queries itself; applying the knob anyway keeps
+  // the flag's semantics identical across both binaries, and the effective
+  // (env-capped) value lands in the report either way.
+  config.exec_threads_effective =
+      quasii::SetIntraQueryThreads(config.exec_threads);
 
   quasii::bench::JsonWriter w;
   int rc = 0;

@@ -22,6 +22,7 @@
 #include "common/executor.h"
 #include "common/request.h"
 #include "common/spatial_index.h"
+#include "common/task_scheduler.h"
 #include "persist/snapshot.h"
 #include "server/protocol.h"
 #include "server/recorder.h"
@@ -67,6 +68,13 @@ class QueryServer {
     std::size_t max_batch = 64;
     /// Batch pool workers.
     int pool_threads = 4;
+    /// Intra-query morsel threads (`SetIntraQueryThreads`, applied at
+    /// `Start`; a `QUASII_EXEC_THREADS` env cap may clamp it). Default 1:
+    /// fully serial intra-query execution, so record/replay determinism
+    /// needs no caveats. Raising it parallelizes cold cracking and frozen
+    /// leaf scans *within* the single exec thread's requests — admission
+    /// order stays the execution order either way.
+    int exec_threads = 1;
     /// Workload log path; empty disables recording.
     std::string record_path;
     /// Snapshot path prefix (".<target>" is appended); empty makes
@@ -82,6 +90,13 @@ class QueryServer {
     std::uint64_t frame_errors = 0;
     std::uint64_t batches = 0;
     std::uint64_t batched_queries = 0;
+    /// Intra-query worker utilization, sampled per request around the exec
+    /// loop: morsel tasks run (worker + helping-waiter + inline), tasks
+    /// that crossed deques (steals), and how many requests fanned out at
+    /// all. All zero at `exec_threads = 1`.
+    std::uint64_t exec_tasks = 0;
+    std::uint64_t exec_steals = 0;
+    std::uint64_t parallel_requests = 0;
   };
 
   QueryServer(std::vector<SpatialIndex<D>*> roster, Options options)
@@ -95,8 +110,10 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Opens the recorder (when configured) and starts the exec thread.
+  /// Opens the recorder (when configured), applies the intra-query thread
+  /// count, and starts the exec thread.
   bool Start(std::string* error) {
+    exec_threads_effective_ = SetIntraQueryThreads(options_.exec_threads);
     if (!options_.record_path.empty()) {
       const persist::PersistError err = recorder_.Open(options_.record_path);
       if (err != persist::PersistError::kNone) {
@@ -204,8 +221,15 @@ class QueryServer {
     out.frame_errors = counters_.frame_errors.load();
     out.batches = counters_.batches.load();
     out.batched_queries = counters_.batched_queries.load();
+    out.exec_tasks = counters_.exec_tasks.load();
+    out.exec_steals = counters_.exec_steals.load();
+    out.parallel_requests = counters_.parallel_requests.load();
     return out;
   }
+
+  /// The intra-query thread count actually in effect (`Options` value after
+  /// the `QUASII_EXEC_THREADS` cap), valid once `Start` has run.
+  int exec_threads() const { return exec_threads_effective_; }
 
   std::uint64_t recorded() const { return recorder_.records(); }
   std::size_t roster_size() const { return roster_.size(); }
@@ -245,6 +269,9 @@ class QueryServer {
     std::atomic<std::uint64_t> frame_errors{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> batched_queries{0};
+    std::atomic<std::uint64_t> exec_tasks{0};
+    std::atomic<std::uint64_t> exec_steals{0};
+    std::atomic<std::uint64_t> parallel_requests{0};
   };
 
   void AcceptLoop() {
@@ -376,10 +403,25 @@ class QueryServer {
         }
       }
       for (const Pending& p : batch) Record(p);
+      // Utilization sampling: every morsel task any of this batch's
+      // requests fanned out has completed by the time its Execute returns
+      // (`Group::Wait` is a full barrier), so the scheduler-stats delta
+      // around the batch is exactly this batch's work.
+      const TaskScheduler::Stats before = IntraQueryScheduler().stats();
       if (batch.size() > 1) {
         RunBatch(batch);
       } else {
         RunSingle(batch.front());
+      }
+      const TaskScheduler::Stats after = IntraQueryScheduler().stats();
+      const std::uint64_t tasks = (after.executed - before.executed) +
+                                  (after.helped - before.helped) +
+                                  (after.inlined - before.inlined);
+      if (tasks > 0) {
+        counters_.exec_tasks.fetch_add(tasks, std::memory_order_relaxed);
+        counters_.exec_steals.fetch_add(after.stolen - before.stolen,
+                                        std::memory_order_relaxed);
+        counters_.parallel_requests.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -430,6 +472,7 @@ class QueryServer {
 
   std::vector<SpatialIndex<D>*> roster_;
   Options options_;
+  int exec_threads_effective_ = 1;
   ThreadPool pool_;
   BatchExecutor<D> executor_;
   WorkloadRecorder<D> recorder_;

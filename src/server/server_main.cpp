@@ -44,6 +44,7 @@ struct ServerConfig {
   std::size_t max_inflight = 256;
   std::size_t max_batch = 64;
   int pool_threads = 4;
+  int exec_threads = 1;
   std::string record_path;
   std::string snapshot_path;
   std::string out_path;
@@ -54,7 +55,8 @@ void PrintUsage() {
                "usage: quasii_server --socket=PATH [--n=COUNT] [--seed=SEED]\n"
                "                     [--indexes=NAME,NAME,...]\n"
                "                     [--max-inflight=N] [--batch-max=N]\n"
-               "                     [--pool-threads=N] [--record=PATH]\n"
+               "                     [--pool-threads=N] [--exec-threads=N]\n"
+               "                     [--record=PATH]\n"
                "                     [--snapshot=PATH] [--out=PATH]\n"
                "Serves the framed request protocol over a Unix-domain\n"
                "socket. --record logs every accepted request to a framed\n"
@@ -109,6 +111,12 @@ void ParseArgOrDie(const std::string& arg, ServerConfig* config) {
       Die(arg, "expected an integer in [1, 256]");
     }
     config->pool_threads = static_cast<int>(u);
+  } else if (flag.key == "exec-threads") {
+    if (!flag.has_value || !cli::ParseU64(flag.value, &u) || u == 0 ||
+        u > 256) {
+      Die(arg, "expected an integer in [1, 256]");
+    }
+    config->exec_threads = static_cast<int>(u);
   } else if (flag.key == "record") {
     if (!flag.has_value || flag.value.empty()) Die(arg, "expected a path");
     config->record_path = flag.value;
@@ -179,6 +187,7 @@ int main(int argc, char** argv) {
   options.max_inflight = config.max_inflight;
   options.max_batch = config.max_batch;
   options.pool_threads = config.pool_threads;
+  options.exec_threads = config.exec_threads;
   options.record_path = config.record_path;
   options.snapshot_path = config.snapshot_path;
 
@@ -210,6 +219,10 @@ int main(int argc, char** argv) {
   w.Key("frame_errors").Uint(c.frame_errors);
   w.Key("batches").Uint(c.batches);
   w.Key("batched_queries").Uint(c.batched_queries);
+  w.Key("exec_threads").Int(server.exec_threads());
+  w.Key("exec_tasks").Uint(c.exec_tasks);
+  w.Key("exec_steals").Uint(c.exec_steals);
+  w.Key("parallel_requests").Uint(c.parallel_requests);
   w.Key("recorded").Uint(server.recorded());
   w.Key("indexes").BeginArray();
   const std::vector<std::uint64_t> checksums = server.IndexChecksums();

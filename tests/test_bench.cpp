@@ -441,7 +441,7 @@ void TestDurableBenchReport() {
   const std::size_t schema_begin = schema_at + schema_key.size();
   const std::string found_schema =
       report.substr(schema_begin, report.find('"', schema_begin) - schema_begin);
-  CHECK_EQ(found_schema, "quasii-bench-v8");
+  CHECK_EQ(found_schema, "quasii-bench-v9");
   CHECK(report.find("\"durability\":") != std::string::npos);
   CHECK(report.find("\"wal_records\":") != std::string::npos);
   CHECK(report.find("\"snapshots_written\":") != std::string::npos);

@@ -428,11 +428,6 @@ void TestQuasiiPackedEndToEnd() {
   std::string blob;
   quasii::ByteWriter blob_writer(&blob);
   CHECK(index.SerializeStructure(blob_writer));
-  // The deprecated string-based shims must stay byte-identical to the
-  // ByteWriter/string_view API for their one-release grace period.
-  std::string shim_blob;
-  CHECK(index.SaveStructure(&shim_blob));
-  CHECK(shim_blob == blob);
   QuasiiIndex<3> restored(data);
   CHECK(restored.DeserializeStructure(blob));
   const auto rmem = restored.column_memory();
